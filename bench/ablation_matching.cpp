@@ -1,0 +1,76 @@
+// Extension ablation — input-request policy: the Swizzle Switch's
+// single-request port logic vs iSLIP-style iterative matching.
+//
+// The paper's switch raises ONE request per input per cycle (the input bus
+// is singular, and arbitration is per-output). A cell-switch intuition says
+// an input whose request loses wastes the cycle and iSLIP-style
+// request/grant/accept matching should recover it. The measured result is a
+// (supportive) null: with packet-granular transfers and idle-output-aware
+// request selection, the simple port logic already achieves near-maximal
+// matching — the allocator iterations buy nothing. The paper's choice of
+// minimal single-cycle port logic costs essentially no throughput.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "stats/table.hpp"
+#include "switch/simulator.hpp"
+#include "traffic/workload.hpp"
+
+namespace {
+
+using namespace ssq;
+
+constexpr std::uint32_t kRadix = 8;
+
+traffic::Workload uniform_workload(double per_flow_load) {
+  traffic::Workload w(kRadix);
+  for (InputId i = 0; i < kRadix; ++i) {
+    for (OutputId o = 0; o < kRadix; ++o) {
+      if (i == o) continue;
+      w.add_flow(
+          bench::make_gb_flow(i, o, 0.9 / (kRadix - 1), 8, per_flow_load));
+    }
+  }
+  return w;
+}
+
+double run(sw::AllocationMode alloc, std::uint32_t iterations,
+           double per_flow_load) {
+  auto config = bench::paper_switch_config();
+  config.allocation = alloc;
+  config.match_iterations = iterations;
+  const auto r = sw::run_experiment(config, uniform_workload(per_flow_load),
+                                    5000, 40000);
+  return r.total_accepted_rate;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = ssq::stats::want_csv(argc, argv);
+  std::cout << "Extension ablation: single-request ports vs iterative "
+               "matching, uniform all-to-all GB traffic, radix 8, 8-flit "
+               "packets (aggregate ceiling = 8 x 8/9 = 7.11 flits/cycle)\n\n";
+
+  stats::Table t("Aggregate accepted throughput (flits/cycle) vs per-flow "
+                 "offered load");
+  t.header({"per_flow_load", "single_request", "matched_1iter",
+            "matched_2iter", "matched_4iter"});
+  for (double load : {0.02, 0.05, 0.08, 0.1, 0.125, 0.2}) {
+    t.row()
+        .cell(load, 3)
+        .cell(run(sw::AllocationMode::SingleRequest, 1, load), 3)
+        .cell(run(sw::AllocationMode::IterativeMatching, 1, load), 3)
+        .cell(run(sw::AllocationMode::IterativeMatching, 2, load), 3)
+        .cell(run(sw::AllocationMode::IterativeMatching, 4, load), 3);
+  }
+  t.render(std::cout, csv);
+  std::cout << "Matching != winning here: long packets amortise the "
+               "allocation, and the single-request policy only asserts "
+               "requests toward idle outputs, so it already forms a "
+               "near-maximal match. The paper's simple port logic is "
+               "throughput-neutral.\n";
+  return 0;
+}

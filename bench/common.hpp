@@ -1,0 +1,60 @@
+// Shared helpers for the bench binaries: paper-standard configurations and
+// flow builders. Every bench prints its tables via ssq::stats::Table and
+// accepts `--csv` for machine-readable output.
+#pragma once
+
+#include <cstdint>
+
+#include "switch/config.hpp"
+#include "traffic/flow.hpp"
+
+namespace ssq::bench {
+
+/// The evaluation-section switch configuration: radix 8, 128-bit channel
+/// (16 lanes), "4 significant bits of auxVC", 16-flit buffers, 8-flit
+/// packets (Fig. 4 details). lsb_bits = 5 keeps the level granularity at 32
+/// cycles so the Fig. 4 Vtick range (22.5–180 cycles) resolves across
+/// levels; vtick_shift = 2 extends the 8-bit Vtick register to the 1 %
+/// allocations of Fig. 5.
+inline sw::SwitchConfig paper_switch_config() {
+  sw::SwitchConfig c;
+  c.radix = 8;
+  c.ssvc.level_bits = 4;
+  c.ssvc.lsb_bits = 5;
+  c.ssvc.vtick_bits = 8;
+  c.ssvc.vtick_shift = 2;
+  c.buffers.be_flits = 16;
+  c.buffers.gb_flits_per_output = 16;
+  c.buffers.gl_flits = 16;
+  c.seed = 0xDAC2014;
+  return c;
+}
+
+inline traffic::FlowSpec make_gb_flow(
+    InputId src, OutputId dst, double rate, std::uint32_t len,
+    double inject_rate,
+    traffic::InjectKind kind = traffic::InjectKind::Bernoulli) {
+  traffic::FlowSpec f;
+  f.src = src;
+  f.dst = dst;
+  f.cls = TrafficClass::GuaranteedBandwidth;
+  f.reserved_rate = rate;
+  f.len_min = f.len_max = len;
+  f.inject = kind;
+  f.inject_rate = inject_rate;
+  return f;
+}
+
+inline traffic::FlowSpec make_gl_flow(InputId src, OutputId dst,
+                                      std::uint32_t len, double inject_rate) {
+  traffic::FlowSpec f;
+  f.src = src;
+  f.dst = dst;
+  f.cls = TrafficClass::GuaranteedLatency;
+  f.len_min = f.len_max = len;
+  f.inject = traffic::InjectKind::Bernoulli;
+  f.inject_rate = inject_rate;
+  return f;
+}
+
+}  // namespace ssq::bench

@@ -1,0 +1,90 @@
+// Fig. 4 — "Bandwidth received by flows without and with QoS."
+//
+// 8 inputs -> 1 output, 128-bit channel, 8-flit packets, 16-flit buffers,
+// GB traffic only, 4 significant bits of auxVC. Reserved fractions:
+// 40/20/10/10/5/5/5/5 %. The injection rate of every input sweeps from well
+// below saturation to deep saturation.
+//
+// (a) Without QoS (LRG arbitration): during congestion all flows converge to
+//     an equal 1/8 share of the deliverable 8/9 ≈ 0.889 flits/cycle.
+// (b) With SSVC: each flow receives at least min(its offer, its reserved
+//     fraction of the deliverable total); at deep saturation the shares
+//     stand in the reserved 8:4:2:2:1:1:1:1 proportions.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "stats/ascii_plot.hpp"
+#include "stats/table.hpp"
+#include "switch/simulator.hpp"
+#include "traffic/workload.hpp"
+
+namespace {
+
+using namespace ssq;
+
+const std::vector<double> kRates = {0.40, 0.20, 0.10, 0.10,
+                                    0.05, 0.05, 0.05, 0.05};
+constexpr std::uint32_t kPacketLen = 8;
+
+traffic::Workload workload(double inject_rate) {
+  traffic::Workload w(8);
+  for (InputId i = 0; i < 8; ++i) {
+    w.add_flow(bench::make_gb_flow(i, 0, kRates[i], kPacketLen, inject_rate));
+  }
+  return w;
+}
+
+void run_series(const char* title, sw::ArbitrationMode mode, bool csv) {
+  std::vector<std::vector<double>> curves(4);  // flows 1, 2, 3, 5
+  stats::Table table(title);
+  std::vector<std::string> header = {"inj_rate"};
+  for (std::size_t i = 0; i < kRates.size(); ++i) {
+    header.push_back("flow" + std::to_string(i + 1) + "(r=" +
+                     std::to_string(kRates[i]).substr(0, 4) + ")");
+  }
+  header.push_back("total");
+  table.header(std::move(header));
+
+  for (double inj : {0.0125, 0.025, 0.05, 0.075, 0.1, 0.111, 0.125, 0.15,
+                     0.2, 0.3, 0.4, 0.5}) {
+    auto config = bench::paper_switch_config();
+    config.mode = mode;
+    config.baseline = arb::Kind::Lrg;
+    const auto r = sw::run_experiment(config, workload(inj), 5000, 60000);
+    table.row().cell(inj, 4);
+    for (const auto& f : r.flows) table.cell(f.accepted_rate, 4);
+    table.cell(r.total_accepted_rate, 4);
+    curves[0].push_back(r.flows[0].accepted_rate);
+    curves[1].push_back(r.flows[1].accepted_rate);
+    curves[2].push_back(r.flows[2].accepted_rate);
+    curves[3].push_back(r.flows[4].accepted_rate);
+  }
+  table.render(std::cout, csv);
+  if (!csv) {
+    stats::AsciiPlot plot(std::string(title) +
+                          ": accepted throughput vs injection rate");
+    plot.add_series("flow1 r=40%", curves[0], '1');
+    plot.add_series("flow2 r=20%", curves[1], '2');
+    plot.add_series("flow3 r=10%", curves[2], '3');
+    plot.add_series("flow5 r=5%", curves[3], '5');
+    plot.x_labels("0.0125", "0.5");
+    plot.render(std::cout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = ssq::stats::want_csv(argc, argv);
+  std::cout << "Fig. 4 reproduction: accepted throughput at the output "
+               "(flits/input/cycle) vs injection rate\n"
+            << "Max deliverable with 8-flit packets: 8/9 = 0.8889 "
+               "flits/cycle (one arbitration cycle per packet)\n\n";
+  run_series("Fig. 4(a) - No QoS (LRG arbitration)",
+             ssq::sw::ArbitrationMode::Baseline, csv);
+  run_series("Fig. 4(b) - QoS (SSVC, Virtual Clock arbitration)",
+             ssq::sw::ArbitrationMode::SsvcQos, csv);
+  return 0;
+}

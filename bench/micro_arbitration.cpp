@@ -1,0 +1,102 @@
+// Micro-benchmarks (google-benchmark) for the arbitration hot paths: one
+// behavioural SSVC pick+grant, one bit-level circuit arbitration, and the
+// baseline arbiters, across radices. These quantify simulator cost per
+// modelled cycle (methodological, not a paper table).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "arb/factory.hpp"
+#include "arb/lrg.hpp"
+#include "circuit/circuit_arbiter.hpp"
+#include "core/output_arbiter.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace ssq;
+
+std::vector<arb::Request> all_requests(std::uint32_t radix) {
+  std::vector<arb::Request> reqs;
+  for (InputId i = 0; i < radix; ++i) reqs.push_back({i, 8, 0});
+  return reqs;
+}
+
+void BM_BaselineArbiter(benchmark::State& state, arb::Kind kind) {
+  const auto radix = static_cast<std::uint32_t>(state.range(0));
+  std::vector<double> rates(radix, 1.0);
+  auto arbiter = arb::make_arbiter(kind, radix, rates, 8);
+  const auto reqs = all_requests(radix);
+  Cycle now = 0;
+  for (auto _ : state) {
+    const InputId w = arbiter->pick(reqs, now);
+    arbiter->on_grant(w, 8, now);
+    benchmark::DoNotOptimize(w);
+    now += 9;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SsvcPickGrant(benchmark::State& state) {
+  const auto radix = static_cast<std::uint32_t>(state.range(0));
+  core::SsvcParams params;
+  params.level_bits = 3;
+  params.lsb_bits = 6;
+  auto alloc = core::OutputAllocation::none(radix);
+  for (InputId i = 0; i < radix; ++i) alloc.gb_rate[i] = 0.9 / radix;
+  alloc.gb_packet_len = 8;
+  core::OutputQosArbiter arbiter(radix, params, alloc);
+  std::vector<core::ClassRequest> reqs;
+  for (InputId i = 0; i < radix; ++i) {
+    reqs.push_back({i, TrafficClass::GuaranteedBandwidth, 8});
+  }
+  Cycle now = 0;
+  for (auto _ : state) {
+    arbiter.advance_to(now);
+    const InputId w = arbiter.pick(reqs, now);
+    arbiter.on_grant(w, arbiter.picked_class(), 8, now);
+    benchmark::DoNotOptimize(w);
+    now += 9;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_CircuitArbitrate(benchmark::State& state) {
+  const auto radix = static_cast<std::uint32_t>(state.range(0));
+  circuit::LaneLayout layout{.radix = radix,
+                             .bus_width = radix * 8,
+                             .gb_lanes = 4,
+                             .has_gl_lane = true,
+                             .has_be_lane = true};
+  circuit::CircuitArbiter wires(layout);
+  arb::LrgArbiter lrg(radix);
+  Rng rng(1);
+  std::vector<circuit::CrosspointRequest> reqs;
+  for (InputId i = 0; i < radix; ++i) {
+    reqs.push_back({i, circuit::RequestKind::Gb,
+                    static_cast<std::uint32_t>(rng.below(4))});
+  }
+  for (auto _ : state) {
+    const auto trace = wires.arbitrate(reqs, lrg);
+    lrg.on_grant(trace.winner, 1, 0);
+    benchmark::DoNotOptimize(trace.winner);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_BaselineArbiter, lrg, ssq::arb::Kind::Lrg)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK_CAPTURE(BM_BaselineArbiter, wfq, ssq::arb::Kind::Wfq)
+    ->Arg(8)->Arg(64);
+BENCHMARK_CAPTURE(BM_BaselineArbiter, dwrr, ssq::arb::Kind::Dwrr)
+    ->Arg(8)->Arg(64);
+BENCHMARK_CAPTURE(BM_BaselineArbiter, virtual_clock,
+                  ssq::arb::Kind::VirtualClock)
+    ->Arg(8)->Arg(64);
+BENCHMARK(BM_SsvcPickGrant)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_CircuitArbitrate)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+BENCHMARK_MAIN();

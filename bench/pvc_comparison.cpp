@@ -1,0 +1,128 @@
+// Reference [7] head-to-head — Preemptive Virtual Clock vs SSVC on one
+// switch.
+//
+// PVC (Grot/Keckler/Mutlu, MICRO'09) is the NoC QoS scheme the paper's
+// introduction cites alongside Virtual Clock: frame-based bandwidth
+// accounting plus preemption of lower-priority in-flight packets. Adapted
+// to the single crossbar (src/arb/pvc + SwitchConfig::pvc):
+//
+//   A. bandwidth adherence on the Fig. 4 workload — both schemes deliver
+//      the reserved proportions;
+//   B. latency of a low-rate flow under a saturated heavy flow — PVC's
+//      preemption vs SSVC's thermometer coarsening, including the price PVC
+//      pays in aborted-transfer waste.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "stats/table.hpp"
+#include "switch/crossbar.hpp"
+#include "traffic/workload.hpp"
+
+namespace {
+
+using namespace ssq;
+
+const std::vector<double> kRates = {0.40, 0.20, 0.10, 0.10,
+                                    0.05, 0.05, 0.05, 0.05};
+
+void table_a(bool csv) {
+  stats::Table t("A. Fig. 4 workload, all saturated: accepted throughput");
+  t.header({"scheme", "f1(40%)", "f2(20%)", "f3(10%)", "f5(5%)", "total",
+            "preemptions", "wasted_flits"});
+  struct Case {
+    const char* name;
+    sw::ArbitrationMode mode;
+    bool preempt;
+  };
+  for (const Case cs : {Case{"ssvc", sw::ArbitrationMode::SsvcQos, false},
+                        Case{"pvc (no preemption)",
+                             sw::ArbitrationMode::Baseline, false},
+                        Case{"pvc + preemption",
+                             sw::ArbitrationMode::Baseline, true}}) {
+    traffic::Workload w(8);
+    for (InputId i = 0; i < 8; ++i) {
+      w.add_flow(bench::make_gb_flow(i, 0, kRates[i], 8, 0.9));
+    }
+    auto config = bench::paper_switch_config();
+    config.mode = cs.mode;
+    config.baseline = arb::Kind::Pvc;
+    config.pvc.preemption = cs.preempt;
+    sw::CrossbarSwitch sim(config, std::move(w));
+    sim.warmup(5000);
+    sim.measure(80000);
+    double total = 0.0;
+    for (FlowId f = 0; f < 8; ++f) total += sim.throughput().rate(f);
+    std::uint64_t preempts = 0;
+    for (OutputId o = 0; o < 8; ++o) preempts += sim.preemptions(o);
+    t.row()
+        .cell(cs.name)
+        .cell(sim.throughput().rate(0), 3)
+        .cell(sim.throughput().rate(1), 3)
+        .cell(sim.throughput().rate(2), 3)
+        .cell(sim.throughput().rate(4), 3)
+        .cell(total, 3)
+        .cell(preempts)
+        .cell(sim.wasted_flits());
+  }
+  t.render(std::cout, csv);
+}
+
+void table_b(bool csv) {
+  stats::Table t("B. Low-rate flow (2-flit packets, 2% load) under a "
+                 "saturated 8-flit heavy flow: waiting time");
+  t.header({"scheme", "light_mean_wait", "light_max_wait", "heavy_accepted",
+            "wasted_flits"});
+  struct Case {
+    const char* name;
+    sw::ArbitrationMode mode;
+    arb::Kind kind;
+    bool preempt;
+  };
+  for (const Case cs :
+       {Case{"lrg (no QoS)", sw::ArbitrationMode::Baseline, arb::Kind::Lrg,
+             false},
+        Case{"ssvc", sw::ArbitrationMode::SsvcQos, arb::Kind::Lrg, false},
+        Case{"pvc (no preemption)", sw::ArbitrationMode::Baseline,
+             arb::Kind::Pvc, false},
+        Case{"pvc + preemption", sw::ArbitrationMode::Baseline,
+             arb::Kind::Pvc, true}}) {
+    traffic::Workload w(8);
+    const FlowId heavy =
+        w.add_flow(bench::make_gb_flow(0, 0, 0.70, 8, 1.0));
+    auto light_spec = bench::make_gb_flow(1, 0, 0.20, 2, 0.04,
+                                          traffic::InjectKind::Periodic);
+    const FlowId light = w.add_flow(light_spec);
+    auto config = bench::paper_switch_config();
+    config.mode = cs.mode;
+    config.baseline = cs.kind;
+    config.pvc.preemption = cs.preempt;
+    sw::CrossbarSwitch sim(config, std::move(w));
+    sim.warmup(5000);
+    sim.measure(100000);
+    t.row()
+        .cell(cs.name)
+        .cell(sim.wait().flow_summary(light).mean(), 2)
+        .cell(sim.wait().flow_summary(light).max(), 0)
+        .cell(sim.throughput().rate(heavy), 3)
+        .cell(sim.wasted_flits());
+  }
+  t.render(std::cout, csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = ssq::stats::want_csv(argc, argv);
+  std::cout << "Reference [7] comparison: Preemptive Virtual Clock vs SSVC "
+               "on the single crossbar\n\n";
+  table_a(csv);
+  table_b(csv);
+  std::cout << "PVC matches the reserved shares with per-input frame "
+               "counters and cuts the light flow's\nwait via preemption — "
+               "at the cost of aborted transfers (wasted flits). SSVC gets "
+               "a similar\nwait with zero waste from its coarse-compare + "
+               "LRG arbitration alone.\n";
+  return 0;
+}

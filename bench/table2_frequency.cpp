@@ -1,0 +1,53 @@
+// Table 2 — "Frequency (in GHz) with and without SSVC" across radix
+// {8,16,32,64} and channel width {128,256,512} bits, plus the §4.5 area
+// figures.
+//
+// The analytical timing model is calibrated to the two published anchors
+// (64x64/128-bit Swizzle Switch at 1.5 GHz [16]; worst SSVC slowdown 8.4 %
+// at 8x8/256-bit); the actual Table 2 cell values are corrupted in the
+// available text, so the reproduced quantities are the anchors plus the
+// table's monotonic shape.
+#include <iostream>
+#include <string>
+
+#include "hw/area_model.hpp"
+#include "hw/timing_model.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ssq;
+  const bool csv = stats::want_csv(argc, argv);
+
+  const hw::TimingModel model;
+  stats::Table t2("Table 2 - Frequency (GHz) with and without SSVC");
+  t2.header({"radix", "ss_128b", "ssvc_128b", "ss_256b", "ssvc_256b",
+             "ss_512b", "ssvc_512b", "worst_slowdown_%"});
+  for (std::uint32_t radix : {8u, 16u, 32u, 64u}) {
+    double worst = 0.0;
+    t2.row().cell(std::to_string(radix) + "x" + std::to_string(radix));
+    for (std::uint32_t width : {128u, 256u, 512u}) {
+      t2.cell(model.ss_freq_ghz(radix, width), 3);
+      t2.cell(model.ssvc_freq_ghz(radix, width), 3);
+      worst = std::max(worst, model.slowdown(radix, width));
+    }
+    t2.cell(worst * 100.0, 2);
+  }
+  t2.render(std::cout, csv);
+  std::cout << "Anchors: SS 64x64/128-bit = "
+            << model.ss_freq_ghz(64, 128) << " GHz (paper: 1.5 [16]); "
+            << "worst slowdown = " << model.slowdown(8, 256) * 100.0
+            << " % at 8x8/256-bit (paper: 8.4 %).\n\n";
+
+  stats::Table area("Sec. 4.5 - SSVC crosspoint area overhead");
+  area.header({"channel_bits", "overhead_%", "equivalent_channel_bits"});
+  for (std::uint32_t width : {128u, 256u, 512u}) {
+    area.row()
+        .cell(static_cast<std::uint64_t>(width))
+        .cell(hw::ssvc_area_overhead(width) * 100.0, 2)
+        .cell(hw::ssvc_equivalent_channel_bits(width), 1);
+  }
+  area.render(std::cout, csv);
+  std::cout << "Paper: +2 % at 128-bit (\"equivalent to the area of a "
+               "131-bit channel\"); no overhead at 256/512-bit.\n";
+  return 0;
+}

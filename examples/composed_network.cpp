@@ -1,0 +1,76 @@
+// Composing Swizzle Switches beyond one hop (paper §4.4).
+//
+// A 32-node SoC reaches 4 shared resources (e.g. DDR channels) through 8
+// concentrators feeding a second-stage switch — more nodes than one
+// radix-64 Swizzle Switch would even need, but shaped to show what changes
+// when you compose: the multihop API, what survives (group aggregates, BE
+// yielding to GB across hops) and what is lost (per-flow separation at
+// shared crosspoints — run bench/sec44_composition for the head-to-head).
+#include <iostream>
+#include <string>
+
+#include "multihop/two_stage.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace ssq;
+
+  multihop::TwoStageConfig config;
+  config.groups = 8;
+  config.nodes_per_group = 4;  // 32 nodes total
+  config.dests = 4;
+  config.ssvc.level_bits = 4;
+  config.ssvc.lsb_bits = 5;
+  config.ssvc.vtick_shift = 2;
+  config.seed = 9;
+
+  // Every group sends a guaranteed stream to DDR channel 0 (10 % each) and
+  // best-effort fill traffic to the other channels.
+  std::vector<multihop::HopFlow> flows;
+  for (std::uint32_t g = 0; g < config.groups; ++g) {
+    multihop::HopFlow gb;
+    gb.node = g * config.nodes_per_group;  // the group's DSP core
+    gb.dest = 0;
+    gb.cls = TrafficClass::GuaranteedBandwidth;
+    gb.reserved_rate = 0.10;
+    gb.packet_len = 8;
+    gb.inject = traffic::InjectKind::Bernoulli;
+    gb.inject_rate = 0.10;
+    flows.push_back(gb);
+
+    multihop::HopFlow be;
+    be.node = g * config.nodes_per_group + 1;  // a general-purpose core
+    be.dest = 1 + (g % 3);
+    be.cls = TrafficClass::BestEffort;
+    be.packet_len = 8;
+    be.inject = traffic::InjectKind::Bernoulli;
+    be.inject_rate = 0.5;
+    flows.push_back(be);
+  }
+
+  multihop::TwoStageNetwork net(config, flows);
+  net.warmup(5000);
+  net.measure(100000);
+
+  stats::Table t("32 nodes -> 2-stage network -> 4 DDR channels");
+  t.header({"flow", "class", "reserved", "accepted", "mean_latency"});
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    const auto& spec = net.flow(f);
+    t.row()
+        .cell("node" + std::to_string(spec.node) + " -> ddr" +
+              std::to_string(spec.dest))
+        .cell(std::string(to_string(spec.cls)))
+        .cell(spec.reserved_rate, 2)
+        .cell(net.throughput().rate(f), 3)
+        .cell(net.latency().flow_summary(f).mean(), 1);
+  }
+  t.render_ascii(std::cout);
+
+  std::cout
+      << "All eight 10% guaranteed streams coexist with the best-effort "
+         "flood across two hops.\nCaveat (paper Sec. 4.4): per-flow "
+         "guarantees only hold while each stage-1 crosspoint\ncarries one "
+         "flow — see bench/sec44_composition for the failure mode when "
+         "flows share one.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Quickstart: build an 8x8 Swizzle Switch with three-class SSVC QoS, offer
+// it a mixed workload, and read per-flow statistics.
+//
+//   $ ./quickstart
+//
+// Walkthrough of the public API:
+//   1. traffic::Workload — declare flows (src, dst, class, reservation,
+//      packet size, injection process) and per-output GL reservations.
+//   2. sw::SwitchConfig — radix, SSVC parameters (thermometer bits, counter
+//      policy), buffering, GL policing.
+//   3. sw::run_experiment — warmup + measurement, returning per-flow
+//      accepted throughput and latency summaries.
+#include <iostream>
+
+#include "stats/table.hpp"
+#include "switch/simulator.hpp"
+#include "traffic/workload.hpp"
+
+int main() {
+  using namespace ssq;
+
+  // --- 1. Describe the traffic -------------------------------------------
+  traffic::Workload workload(/*radix=*/8);
+
+  // A guaranteed-bandwidth flow: core 0 streams to the memory controller at
+  // output 7, reserving 30 % of that channel, 8-flit packets, injecting at
+  // 0.25 flits/cycle.
+  traffic::FlowSpec stream;
+  stream.src = 0;
+  stream.dst = 7;
+  stream.cls = TrafficClass::GuaranteedBandwidth;
+  stream.reserved_rate = 0.30;
+  stream.len_min = stream.len_max = 8;
+  stream.inject = traffic::InjectKind::Bernoulli;
+  stream.inject_rate = 0.25;
+  const FlowId stream_id = workload.add_flow(stream);
+
+  // A best-effort flow from core 1 hammering the same output.
+  traffic::FlowSpec bulk = stream;
+  bulk.src = 1;
+  bulk.cls = TrafficClass::BestEffort;
+  bulk.reserved_rate = 0.0;
+  bulk.inject_rate = 0.8;  // far more than the channel can spare
+  const FlowId bulk_id = workload.add_flow(bulk);
+
+  // A guaranteed-latency flow: rare 1-flit interrupts from core 2.
+  traffic::FlowSpec irq;
+  irq.src = 2;
+  irq.dst = 7;
+  irq.cls = TrafficClass::GuaranteedLatency;
+  irq.len_min = irq.len_max = 1;
+  irq.inject = traffic::InjectKind::Bernoulli;
+  irq.inject_rate = 0.005;
+  const FlowId irq_id = workload.add_flow(irq);
+
+  // The output must reserve a small shared fraction for the GL class.
+  workload.set_gl_reservation(/*dst=*/7, /*rate=*/0.05, /*packet_len=*/1);
+
+  // --- 2. Configure the switch -------------------------------------------
+  sw::SwitchConfig config;
+  config.radix = 8;
+  config.ssvc.level_bits = 4;   // 16 thermometer levels for GB arbitration
+  config.ssvc.lsb_bits = 5;     // 32-cycle level granularity
+  config.ssvc.vtick_shift = 2;  // 8-bit Vtick register covers 1 %..100 %
+  config.ssvc.policy = core::CounterPolicy::SubtractRealClock;
+  config.gl_policing = core::GlPolicing::Stall;
+  config.seed = 1;
+
+  // --- 3. Run and report --------------------------------------------------
+  const auto result =
+      sw::run_experiment(config, std::move(workload), /*warmup_cycles=*/5000,
+                         /*measure_cycles=*/100000);
+
+  stats::Table table("quickstart: 8x8 SSVC switch, mixed-class traffic");
+  table.header({"flow", "class", "reserved", "offered", "accepted",
+                "mean_latency", "max_latency"});
+  const char* names[] = {"stream(GB)", "bulk(BE)", "interrupts(GL)"};
+  for (const auto& f : result.flows) {
+    table.row()
+        .cell(names[f.flow])
+        .cell(std::string(to_string(f.cls)))
+        .cell(f.reserved_rate, 2)
+        .cell(f.offered_rate, 3)
+        .cell(f.accepted_rate, 3)
+        .cell(f.mean_latency, 1)
+        .cell(f.max_latency, 0);
+  }
+  table.render_ascii(std::cout);
+
+  std::cout << "Things to notice:\n"
+               "  * the GB stream receives its full 0.25 offer (it reserved "
+               "0.30) despite the\n    saturated best-effort flow;\n"
+               "  * best-effort soaks up the remaining bandwidth;\n"
+               "  * interrupts cut through with single-digit latency.\n";
+
+  // Summary numbers used by the commentary above, fetched the same way any
+  // application would.
+  std::cout << "\nstream accepted = " << result.flows[stream_id].accepted_rate
+            << " flits/cycle, bulk accepted = "
+            << result.flows[bulk_id].accepted_rate
+            << " flits/cycle, interrupt max latency = "
+            << result.flows[irq_id].max_latency << " cycles\n";
+  return 0;
+}

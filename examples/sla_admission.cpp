@@ -1,0 +1,130 @@
+// Designing to a latency SLA with the qosmath admission API.
+//
+// Scenario: three controllers must deliver alarm messages to a safety
+// processor (output 0) within hard deadlines (150 / 300 / 600 cycles) while
+// the output also carries saturated guaranteed-bandwidth telemetry. The
+// example walks the full workflow:
+//   1. compute per-controller burst budgets (Eqs. 2-3, mapped to senders)
+//      and check they are non-zero (a sub-packet deadline is unservable),
+//   2. report the Eq. 1 bound at the occupancy the admitted bursts create,
+//   3. configure the switch and fire worst-case simultaneous bursts,
+//   4. verify every alarm met its deadline in simulation.
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "qosmath/admission.hpp"
+#include "stats/table.hpp"
+#include "switch/crossbar.hpp"
+#include "traffic/workload.hpp"
+
+int main() {
+  using namespace ssq;
+
+  constexpr std::uint32_t kGlLen = 2;   // alarm packet, flits
+  constexpr std::uint32_t kGbLen = 8;   // telemetry packet, flits
+  constexpr std::uint32_t kBuf = 64;    // GL buffer depth (holds any burst)
+
+  // --- 1+2: closed-form design ------------------------------------------
+  const std::vector<qosmath::GlSender> senders = {
+      {0, 150.0}, {1, 300.0}, {2, 600.0}};
+  // Burst budgets (Eqs. 2-3) are the authoritative admission: they already
+  // bound what can sit in front of any packet. The Eq. 1 bound is reported
+  // for context with b = the occupancy the admitted bursts can create.
+  const qosmath::GlBoundParams params{
+      .l_max = kGbLen, .l_min = kGlLen, .n_gl = 0, .buffer_flits = kBuf};
+  const auto admission = qosmath::admit_gl_senders(senders, params);
+
+  std::uint32_t max_burst_flits = 1;
+  for (auto b : admission.burst_packets) {
+    max_burst_flits = std::max(max_burst_flits, b * kGlLen);
+  }
+  const double tau = qosmath::gl_wait_bound({.l_max = kGbLen,
+                                             .l_min = kGlLen,
+                                             .n_gl = 3,
+                                             .buffer_flits = max_burst_flits});
+
+  stats::Table plan("SLA plan (Eqs. 2-3 burst budgets)");
+  plan.header({"controller", "deadline_cycles", "max_burst_packets"});
+  bool admissible = true;
+  for (std::size_t k = 0; k < senders.size(); ++k) {
+    if (admission.burst_packets[k] == 0) admissible = false;
+    plan.row()
+        .cell("ctrl" + std::to_string(senders[k].input))
+        .cell(senders[k].deadline_cycles, 0)
+        .cell(static_cast<std::uint64_t>(admission.burst_packets[k]));
+  }
+  plan.render_ascii(std::cout);
+  std::cout << (admissible ? "Admissible: every controller gets a non-zero "
+                             "burst budget."
+                           : "NOT admissible: a deadline is tighter than a "
+                             "single packet can meet.")
+            << " Eq. 1 context bound at the admitted occupancy: " << tau
+            << " cycles.\n\n";
+
+  // --- 3: worst case in simulation ---------------------------------------
+  traffic::Workload w(8);
+  std::vector<FlowId> alarms;
+  for (std::size_t k = 0; k < senders.size(); ++k) {
+    traffic::FlowSpec f;
+    f.src = senders[k].input;
+    f.dst = 0;
+    f.cls = TrafficClass::GuaranteedLatency;
+    f.len_min = f.len_max = kGlLen;
+    f.inject = traffic::InjectKind::BurstOnce;
+    f.burst_start = 5000;  // all three fire at once: the adversarial case
+    f.burst_packets = admission.burst_packets[k];
+    alarms.push_back(w.add_flow(f));
+  }
+  // Saturated telemetry from the other inputs.
+  for (InputId i = 3; i < 8; ++i) {
+    traffic::FlowSpec f;
+    f.src = i;
+    f.dst = 0;
+    f.cls = TrafficClass::GuaranteedBandwidth;
+    f.reserved_rate = 0.12;
+    f.len_min = f.len_max = kGbLen;
+    f.inject = traffic::InjectKind::Bernoulli;
+    f.inject_rate = 1.0;
+    w.add_flow(f);
+  }
+  w.set_gl_reservation(0, 0.25, kGlLen);
+
+  sw::SwitchConfig config;
+  config.radix = 8;
+  config.ssvc.level_bits = 4;
+  config.ssvc.lsb_bits = 5;
+  config.ssvc.vtick_shift = 2;
+  config.buffers.gl_flits = kBuf;
+  config.latency_from_creation = true;  // deadlines are end-to-end
+  config.gl_allowance_packets = 128;    // the bursts are pre-admitted
+  config.seed = 12;
+
+  sw::CrossbarSwitch sim(config, std::move(w));
+  sim.warmup(0);
+  sim.measure(20000);
+
+  // --- 4: verify -----------------------------------------------------------
+  stats::Table check("Worst-case simultaneous bursts, measured");
+  check.header({"controller", "packets", "max_latency", "deadline", "met"});
+  bool all_met = true;
+  for (std::size_t k = 0; k < senders.size(); ++k) {
+    const auto& s = sim.latency().flow_summary(alarms[k]);
+    const bool met = s.count() &&
+                     s.max() <= senders[k].deadline_cycles;
+    all_met = all_met && met;
+    check.row()
+        .cell("ctrl" + std::to_string(senders[k].input))
+        .cell(s.count())
+        .cell(s.count() ? s.max() : -1.0, 0)
+        .cell(senders[k].deadline_cycles, 0)
+        .cell(met ? "yes" : "NO");
+  }
+  check.render_ascii(std::cout);
+  std::cout << (all_met ? "Every alarm met its deadline — the admission "
+                          "budgets are safe under the worst case the "
+                          "equations model.\n"
+                        : "A deadline was missed — investigate!\n");
+  return all_met ? 0 : 1;
+}

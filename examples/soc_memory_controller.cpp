@@ -1,0 +1,103 @@
+// SoC memory-controller scenario (the paper's §1 motivation: "a base
+// station or an embedded system" whose cores/accelerators/IP blocks share
+// the on-chip network).
+//
+// A radix-16 single-crossbar SoC: 12 cores (inputs 0..11) and 4 memory
+// controllers (outputs 12..15). Three tenant groups contend for MC0:
+//   * two real-time DSP cores with hard bandwidth needs (GB, 25 % each),
+//   * two streaming accelerators with softer needs (GB, 15 % each),
+//   * eight general-purpose cores doing best-effort cache refills.
+//
+// The experiment runs the same workload twice — application-unaware LRG
+// vs SSVC QoS — and shows that only SSVC keeps the real-time cores at their
+// reserved bandwidth when the best-effort cores flood the controller.
+#include <iostream>
+#include <string>
+
+#include "stats/table.hpp"
+#include "switch/simulator.hpp"
+#include "traffic/workload.hpp"
+
+namespace {
+
+using namespace ssq;
+
+constexpr std::uint32_t kRadix = 16;
+constexpr OutputId kMc0 = 12;
+constexpr std::uint32_t kPacketLen = 4;  // cache-line sized requests
+
+traffic::Workload build_workload() {
+  traffic::Workload w(kRadix);
+  auto add = [&w](InputId src, TrafficClass cls, double reserved,
+                  double inject) {
+    traffic::FlowSpec f;
+    f.src = src;
+    f.dst = kMc0;
+    f.cls = cls;
+    f.reserved_rate = reserved;
+    f.len_min = f.len_max = kPacketLen;
+    f.inject = traffic::InjectKind::Bernoulli;
+    f.inject_rate = inject;
+    w.add_flow(f);
+  };
+  // Real-time DSPs: need 25 % each and offer exactly that.
+  add(0, TrafficClass::GuaranteedBandwidth, 0.25, 0.20);
+  add(1, TrafficClass::GuaranteedBandwidth, 0.25, 0.20);
+  // Streaming accelerators: 15 % each, offering a little more.
+  add(2, TrafficClass::GuaranteedBandwidth, 0.15, 0.15);
+  add(3, TrafficClass::GuaranteedBandwidth, 0.15, 0.15);
+  // Eight general-purpose cores flooding best-effort refills.
+  for (InputId core = 4; core < 12; ++core) {
+    add(core, TrafficClass::BestEffort, 0.0, 0.5);
+  }
+  return w;
+}
+
+sw::ExperimentResult run(sw::ArbitrationMode mode) {
+  sw::SwitchConfig config;
+  config.radix = kRadix;
+  config.ssvc.level_bits = 3;  // 128-bit bus / radix 16 = 8 lanes
+  config.ssvc.lsb_bits = 5;
+  config.ssvc.vtick_shift = 1;
+  config.mode = mode;
+  config.baseline = arb::Kind::Lrg;
+  config.seed = 20;
+  return sw::run_experiment(config, build_workload(), 5000, 150000);
+}
+
+}  // namespace
+
+int main() {
+  const auto lrg = run(ssq::sw::ArbitrationMode::Baseline);
+  const auto qos = run(ssq::sw::ArbitrationMode::SsvcQos);
+
+  const char* names[] = {"dsp0 (GB 25%)",  "dsp1 (GB 25%)",
+                         "accel0 (GB 15%)", "accel1 (GB 15%)"};
+  ssq::stats::Table table(
+      "MC0 bandwidth (flits/cycle): application-unaware LRG vs SSVC QoS");
+  table.header({"tenant", "offered", "lrg_accepted", "ssvc_accepted"});
+  for (std::size_t f = 0; f < 4; ++f) {
+    table.row()
+        .cell(names[f])
+        .cell(qos.flows[f].offered_rate, 3)
+        .cell(lrg.flows[f].accepted_rate, 3)
+        .cell(qos.flows[f].accepted_rate, 3);
+  }
+  double lrg_be = 0.0, qos_be = 0.0;
+  for (std::size_t f = 4; f < lrg.flows.size(); ++f) {
+    lrg_be += lrg.flows[f].accepted_rate;
+    qos_be += qos.flows[f].accepted_rate;
+  }
+  table.row().cell("8x gp cores (BE, aggregate)").cell("4.0")
+      .cell(lrg_be, 3).cell(qos_be, 3);
+  table.render_ascii(std::cout);
+
+  std::cout
+      << "Without QoS the twelve contenders split MC0 evenly and the DSPs "
+         "miss their\nreal-time budgets; with SSVC the reserved flows are "
+         "isolated from the flood and\nbest-effort receives only the "
+         "leftover.\n\nMean request latency at MC0 (cycles): dsp0 "
+      << lrg.flows[0].mean_latency << " (LRG) -> "
+      << qos.flows[0].mean_latency << " (SSVC)\n";
+  return 0;
+}

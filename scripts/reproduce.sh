@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Reproduces every result in EXPERIMENTS.md from scratch:
+#   configure -> build -> full test suite -> every bench binary.
+# Outputs land in test_output.txt / bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "===================================================================="
+  echo "== $b"
+  echo "===================================================================="
+  "$b"
+done 2>&1 | tee -a bench_output.txt
+
+echo
+echo "Done. See test_output.txt and bench_output.txt."

@@ -1,0 +1,17 @@
+#include "arb/age.hpp"
+
+namespace ssq::arb {
+
+InputId AgeArbiter::pick(std::span<const Request> requests, Cycle /*now*/) {
+  check_requests(requests);
+  if (requests.empty()) return kNoPort;
+  const Request* best = &requests[0];
+  for (const auto& r : requests.subspan(1)) {
+    if (r.key < best->key || (r.key == best->key && r.input < best->input)) {
+      best = &r;
+    }
+  }
+  return best->input;
+}
+
+}  // namespace ssq::arb

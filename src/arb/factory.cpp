@@ -1,0 +1,125 @@
+#include "arb/factory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arb/age.hpp"
+#include "arb/dwrr.hpp"
+#include "arb/fixed_priority.hpp"
+#include "arb/lrg.hpp"
+#include "arb/multilevel.hpp"
+#include "arb/pvc.hpp"
+#include "arb/round_robin.hpp"
+#include "arb/tdm.hpp"
+#include "arb/virtual_clock.hpp"
+#include "arb/wfq.hpp"
+#include "arb/wrr.hpp"
+
+namespace ssq::arb {
+
+std::string_view kind_name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::Lrg: return "lrg";
+    case Kind::RoundRobin: return "round_robin";
+    case Kind::FixedPriority: return "fixed_priority";
+    case Kind::Age: return "age";
+    case Kind::Wrr: return "wrr";
+    case Kind::Dwrr: return "dwrr";
+    case Kind::Wfq: return "wfq";
+    case Kind::VirtualClock: return "virtual_clock";
+    case Kind::MultiLevel: return "multilevel";
+    case Kind::Tdm: return "tdm";
+    case Kind::Pvc: return "pvc";
+  }
+  return "?";
+}
+
+Kind parse_kind(std::string_view name) {
+  for (Kind k : {Kind::Lrg, Kind::RoundRobin, Kind::FixedPriority, Kind::Age,
+                 Kind::Wrr, Kind::Dwrr, Kind::Wfq, Kind::VirtualClock,
+                 Kind::MultiLevel, Kind::Tdm, Kind::Pvc}) {
+    if (kind_name(k) == name) return k;
+  }
+  SSQ_EXPECT(false && "unknown arbiter kind");
+  return Kind::Lrg;
+}
+
+namespace {
+
+std::vector<double> normalized_rates(std::uint32_t radix,
+                                     const std::vector<double>& rates) {
+  if (rates.empty()) return std::vector<double>(radix, 1.0);
+  SSQ_EXPECT(rates.size() == radix);
+  for (double r : rates) SSQ_EXPECT(r > 0.0);
+  return rates;
+}
+
+}  // namespace
+
+std::unique_ptr<Arbiter> make_arbiter(Kind kind, std::uint32_t radix,
+                                      const std::vector<double>& rates,
+                                      std::uint32_t mean_packet_len) {
+  SSQ_EXPECT(mean_packet_len >= 1);
+  const auto shares = normalized_rates(radix, rates);
+  const double min_share = *std::min_element(shares.begin(), shares.end());
+
+  switch (kind) {
+    case Kind::Lrg:
+      return std::make_unique<LrgArbiter>(radix);
+    case Kind::RoundRobin:
+      return std::make_unique<RoundRobinArbiter>(radix);
+    case Kind::FixedPriority:
+      return std::make_unique<FixedPriorityArbiter>(radix);
+    case Kind::Age:
+      return std::make_unique<AgeArbiter>(radix);
+    case Kind::Wrr: {
+      // Packets per round proportional to share, minimum 1.
+      std::vector<std::uint32_t> weights(radix);
+      for (std::uint32_t i = 0; i < radix; ++i) {
+        weights[i] = std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(std::lround(shares[i] / min_share)));
+      }
+      return std::make_unique<WrrArbiter>(radix, std::move(weights));
+    }
+    case Kind::Dwrr: {
+      // Quantum flits proportional to share, minimum one max-size packet for
+      // the classic O(1) service condition.
+      std::vector<std::uint32_t> quanta(radix);
+      for (std::uint32_t i = 0; i < radix; ++i) {
+        quanta[i] = std::max<std::uint32_t>(
+            mean_packet_len,
+            static_cast<std::uint32_t>(
+                std::lround(shares[i] / min_share *
+                            static_cast<double>(mean_packet_len))));
+      }
+      return std::make_unique<DwrrArbiter>(radix, std::move(quanta));
+    }
+    case Kind::Wfq:
+      return std::make_unique<WfqArbiter>(radix, shares);
+    case Kind::VirtualClock: {
+      // Vtick = mean inter-packet time at the reserved rate, counting the
+      // per-packet arbitration cycle (same calibration as core::ideal_vtick
+      // so the Fig. 5 baseline is compared on equal footing).
+      std::vector<double> vticks(radix);
+      for (std::uint32_t i = 0; i < radix; ++i) {
+        vticks[i] = static_cast<double>(mean_packet_len + 1) / shares[i];
+      }
+      return std::make_unique<VirtualClockArbiter>(radix, std::move(vticks));
+    }
+    case Kind::MultiLevel:
+      return std::make_unique<MultiLevelArbiter>(radix);
+    case Kind::Tdm: {
+      const std::uint32_t period = std::max(16u, 4u * radix);
+      // One packet (plus its arbitration cycle) per slot.
+      return std::make_unique<TdmArbiter>(
+          radix, TdmArbiter::shares_to_table(radix, shares, period),
+          mean_packet_len + 1);
+    }
+    case Kind::Pvc:
+      return std::make_unique<PvcArbiter>(radix, shares);
+  }
+  SSQ_EXPECT(false && "unhandled arbiter kind");
+  return nullptr;
+}
+
+}  // namespace ssq::arb

@@ -1,0 +1,48 @@
+// Factory for constructing arbiters by name — used by benches and examples
+// that sweep policies.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "arb/arbiter.hpp"
+
+namespace ssq::arb {
+
+enum class Kind {
+  Lrg,
+  RoundRobin,
+  FixedPriority,
+  Age,
+  Wrr,
+  Dwrr,
+  Wfq,
+  VirtualClock,
+  /// The 4-level message-based QoS of [14] (fixed priority + LRG in-level).
+  MultiLevel,
+  /// Slot-table TDM (Aethereal/Nostrum style) — non-work-conserving.
+  Tdm,
+  /// Preemptive Virtual Clock [7] (frame-based priority levels; the
+  /// preemption itself is a switch feature, SwitchConfig::pvc).
+  Pvc,
+};
+
+/// Stable lowercase name for CLI selection ("lrg", "round_robin", ...).
+[[nodiscard]] std::string_view kind_name(Kind kind) noexcept;
+
+/// Parses a kind from its name; aborts on unknown names.
+[[nodiscard]] Kind parse_kind(std::string_view name);
+
+/// Constructs an arbiter.
+///
+/// `rates[i]` is input i's relative bandwidth share (any positive scale).
+/// It parameterizes WRR (packets/round), DWRR (quantum flits), WFQ (weight)
+/// and VirtualClock (Vtick = mean_packet_len / rate). Policies that take no
+/// weights ignore it. `mean_packet_len` is used to size WRR/DWRR quanta and
+/// VirtualClock Vticks; pass the workload's (largest) packet length.
+[[nodiscard]] std::unique_ptr<Arbiter> make_arbiter(
+    Kind kind, std::uint32_t radix, const std::vector<double>& rates = {},
+    std::uint32_t mean_packet_len = 1);
+
+}  // namespace ssq::arb

@@ -1,0 +1,36 @@
+#include "arb/fixed_priority.hpp"
+
+#include <numeric>
+
+namespace ssq::arb {
+
+FixedPriorityArbiter::FixedPriorityArbiter(std::uint32_t radix)
+    : Arbiter(radix), order_(radix) {
+  std::iota(order_.begin(), order_.end(), 0u);
+}
+
+FixedPriorityArbiter::FixedPriorityArbiter(std::uint32_t radix,
+                                           std::vector<InputId> order)
+    : Arbiter(radix), order_(std::move(order)) {
+  SSQ_EXPECT(order_.size() == radix);
+  std::uint64_t seen = 0;
+  for (InputId i : order_) {
+    SSQ_EXPECT(i < radix);
+    SSQ_EXPECT(((seen >> i) & 1ULL) == 0);
+    seen |= 1ULL << i;
+  }
+}
+
+InputId FixedPriorityArbiter::pick(std::span<const Request> requests,
+                                   Cycle /*now*/) {
+  check_requests(requests);
+  if (requests.empty()) return kNoPort;
+  std::uint64_t mask = 0;
+  for (const auto& r : requests) mask |= 1ULL << r.input;
+  for (InputId candidate : order_) {
+    if ((mask >> candidate) & 1ULL) return candidate;
+  }
+  return kNoPort;  // unreachable
+}
+
+}  // namespace ssq::arb

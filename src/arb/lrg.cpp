@@ -1,0 +1,92 @@
+#include "arb/lrg.hpp"
+
+#include <bit>
+
+namespace ssq::arb {
+
+LrgArbiter::LrgArbiter(std::uint32_t radix) : Arbiter(radix) {
+  rows_.resize(radix);
+  reset();
+}
+
+void LrgArbiter::reset() {
+  // Initial total order: 0 beats 1 beats 2 ... (input 0 most-preferred).
+  for (InputId i = 0; i < radix(); ++i) {
+    std::uint64_t row = 0;
+    for (InputId j = i + 1; j < radix(); ++j) row |= 1ULL << j;
+    rows_[i] = row;
+  }
+}
+
+bool LrgArbiter::beats(InputId i, InputId j) const {
+  SSQ_EXPECT(i < radix() && j < radix() && i != j);
+  return (rows_[i] >> j) & 1ULL;
+}
+
+std::uint64_t LrgArbiter::row(InputId i) const {
+  SSQ_EXPECT(i < radix());
+  return rows_[i];
+}
+
+std::uint32_t LrgArbiter::rank(InputId i) const {
+  SSQ_EXPECT(i < radix());
+  // In a strict total order, rank == number of inputs that beat i.
+  return radix() - 1 - static_cast<std::uint32_t>(std::popcount(rows_[i]));
+}
+
+InputId LrgArbiter::pick(std::span<const Request> requests, Cycle /*now*/) {
+  check_requests(requests);
+  if (requests.empty()) return kNoPort;
+  std::uint64_t mask = 0;
+  for (const auto& r : requests) mask |= 1ULL << r.input;
+  // Winner beats every other requester. The total-order invariant guarantees
+  // exactly one such input exists.
+  for (const auto& r : requests) {
+    const std::uint64_t others = mask & ~(1ULL << r.input);
+    if ((rows_[r.input] & others) == others) return r.input;
+  }
+  SSQ_ENSURE(false && "LRG matrix lost its total order");
+  return kNoPort;
+}
+
+void LrgArbiter::on_grant(InputId input, std::uint32_t /*length*/,
+                          Cycle /*now*/) {
+  SSQ_EXPECT(input < radix());
+  // Move-to-back: the winner now loses to everyone.
+  rows_[input] = 0;
+  const std::uint64_t bit = 1ULL << input;
+  for (InputId j = 0; j < radix(); ++j) {
+    if (j != input) rows_[j] |= bit;
+  }
+}
+
+void LrgArbiter::set_matrix(const std::vector<std::uint64_t>& rows) {
+  SSQ_EXPECT(rows.size() == radix());
+  rows_ = rows;
+  SSQ_EXPECT(is_total_order());
+}
+
+bool LrgArbiter::is_total_order() const {
+  const std::uint32_t n = radix();
+  // Asymmetric and total: exactly one of beats(i,j), beats(j,i).
+  for (InputId i = 0; i < n; ++i) {
+    if ((rows_[i] >> i) & 1ULL) return false;  // irreflexive
+    if (n < 64 && (rows_[i] >> n) != 0) return false;  // no stray bits
+    for (InputId j = i + 1; j < n; ++j) {
+      const bool ij = (rows_[i] >> j) & 1ULL;
+      const bool ji = (rows_[j] >> i) & 1ULL;
+      if (ij == ji) return false;
+    }
+  }
+  // Transitivity: out-degrees must be a permutation of {0..n-1}.
+  std::uint64_t degrees_seen = 0;
+  for (InputId i = 0; i < n; ++i) {
+    const auto deg = static_cast<std::uint32_t>(std::popcount(rows_[i]));
+    if (deg >= n) return false;
+    if ((degrees_seen >> deg) & 1ULL) return false;
+    degrees_seen |= 1ULL << deg;
+  }
+  return true;
+}
+
+}  // namespace ssq::arb

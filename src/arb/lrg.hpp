@@ -1,0 +1,53 @@
+// Least-Recently-Granted (LRG) matrix arbiter — the Swizzle Switch's native
+// policy [Satpathy ISSCC'12] and the paper's Fig. 4(a) no-QoS baseline.
+//
+// State is an N×N "beats" relation stored as one bitmask row per input:
+// row(i) bit j == 1 means i currently has priority over j. The relation is a
+// strict total order at all times; granting input w moves it to the back
+// (row(w) cleared, bit w set in every other row), which is exactly the
+// hardware's self-updating priority flop behaviour. In silicon each
+// crosspoint stores its own 63-bit row (Table 1); here the matrix is per
+// output and shared by all classes, matching that layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arb/arbiter.hpp"
+
+namespace ssq::arb {
+
+class LrgArbiter final : public Arbiter {
+ public:
+  explicit LrgArbiter(std::uint32_t radix);
+
+  [[nodiscard]] InputId pick(std::span<const Request> requests,
+                             Cycle now) override;
+  void on_grant(InputId input, std::uint32_t length, Cycle now) override;
+  void reset() override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "LRG"; }
+
+  /// True iff input `i` currently has priority over input `j` (i != j).
+  [[nodiscard]] bool beats(InputId i, InputId j) const;
+
+  /// Row of the beats matrix for input `i` (bit j set == i beats j).
+  [[nodiscard]] std::uint64_t row(InputId i) const;
+
+  /// Rank of `i` in the current priority order: 0 == most-preferred
+  /// (least recently granted).
+  [[nodiscard]] std::uint32_t rank(InputId i) const;
+
+  /// Directly installs a beats matrix (used by the circuit-equivalence tests
+  /// to enumerate "all valid LRG states" as the paper's §4.1 verification
+  /// does). Rows must encode a strict total order; enforced.
+  void set_matrix(const std::vector<std::uint64_t>& rows);
+
+  /// Checks the strict-total-order invariant (asymmetric, total, transitive
+  /// by rank consistency).
+  [[nodiscard]] bool is_total_order() const;
+
+ private:
+  std::vector<std::uint64_t> rows_;
+};
+
+}  // namespace ssq::arb

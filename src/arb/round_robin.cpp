@@ -1,0 +1,24 @@
+#include "arb/round_robin.hpp"
+
+namespace ssq::arb {
+
+InputId RoundRobinArbiter::pick(std::span<const Request> requests,
+                                Cycle /*now*/) {
+  check_requests(requests);
+  if (requests.empty()) return kNoPort;
+  std::uint64_t mask = 0;
+  for (const auto& r : requests) mask |= 1ULL << r.input;
+  for (std::uint32_t off = 0; off < radix(); ++off) {
+    const InputId candidate = (pointer_ + off) % radix();
+    if ((mask >> candidate) & 1ULL) return candidate;
+  }
+  return kNoPort;  // unreachable: requests non-empty
+}
+
+void RoundRobinArbiter::on_grant(InputId input, std::uint32_t /*length*/,
+                                 Cycle /*now*/) {
+  SSQ_EXPECT(input < radix());
+  pointer_ = (input + 1) % radix();
+}
+
+}  // namespace ssq::arb

@@ -1,0 +1,83 @@
+#include "arb/tdm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ssq::arb {
+
+TdmArbiter::TdmArbiter(std::uint32_t radix, std::vector<InputId> table,
+                       std::uint32_t slot_cycles)
+    : Arbiter(radix), table_(std::move(table)), slot_cycles_(slot_cycles) {
+  SSQ_EXPECT(!table_.empty());
+  SSQ_EXPECT(slot_cycles_ >= 1);
+  for (InputId owner : table_) {
+    SSQ_EXPECT(owner == kNoPort || owner < radix);
+  }
+}
+
+std::vector<InputId> TdmArbiter::shares_to_table(
+    std::uint32_t radix, const std::vector<double>& shares,
+    std::uint32_t period) {
+  SSQ_EXPECT(shares.size() == radix);
+  SSQ_EXPECT(period >= 1);
+  double total = 0.0;
+  for (double s : shares) {
+    SSQ_EXPECT(s >= 0.0);
+    total += s;
+  }
+  SSQ_EXPECT(total > 0.0);
+
+  // Largest-remainder apportionment of `period` slots.
+  std::vector<std::uint32_t> slots(radix, 0);
+  std::vector<std::pair<double, InputId>> remainders;
+  std::uint32_t assigned = 0;
+  for (InputId i = 0; i < radix; ++i) {
+    const double ideal = shares[i] / total * period;
+    slots[i] = static_cast<std::uint32_t>(std::floor(ideal));
+    assigned += slots[i];
+    remainders.push_back({ideal - std::floor(ideal), i});
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t k = 0; assigned < period; ++k) {
+    ++slots[remainders[k % remainders.size()].second];
+    ++assigned;
+  }
+
+  // Interleave the owners round-robin so slots spread across the period.
+  std::vector<InputId> table;
+  table.reserve(period);
+  std::vector<std::uint32_t> left = slots;
+  while (table.size() < period) {
+    bool placed = false;
+    for (InputId i = 0; i < radix && table.size() < period; ++i) {
+      if (left[i] > 0) {
+        table.push_back(i);
+        --left[i];
+        placed = true;
+      }
+    }
+    SSQ_ENSURE(placed);
+  }
+  return table;
+}
+
+InputId TdmArbiter::pick(std::span<const Request> requests, Cycle now) {
+  check_requests(requests);
+  if (now % slot_cycles_ != 0) return kNoPort;  // mid-slot: wait
+  const InputId owner = table_[slot_at(now)];
+  if (owner == kNoPort) return kNoPort;
+  for (const auto& r : requests) {
+    if (r.input == owner) return owner;
+  }
+  return kNoPort;  // owner idle: the whole slot is wasted
+}
+
+void TdmArbiter::on_grant(InputId input, std::uint32_t /*length*/,
+                          Cycle now) {
+  SSQ_EXPECT(now % slot_cycles_ == 0);
+  SSQ_EXPECT(input == table_[slot_at(now)]);
+}
+
+}  // namespace ssq::arb

@@ -1,0 +1,87 @@
+#include "circuit/circuit_arbiter.hpp"
+
+#include "core/thermometer.hpp"
+
+namespace ssq::circuit {
+
+CircuitArbiter::CircuitArbiter(const LaneLayout& layout) : layout_(layout) {
+  layout_.validate();
+}
+
+ArbitrationTrace CircuitArbiter::arbitrate(
+    std::span<const CrosspointRequest> requests,
+    const arb::LrgArbiter& lrg) const {
+  SSQ_EXPECT(!requests.empty());
+  SSQ_EXPECT(lrg.radix() == layout_.radix);
+  std::uint64_t seen = 0;
+  for (const auto& r : requests) {
+    SSQ_EXPECT(r.input < layout_.radix);
+    SSQ_EXPECT(((seen >> r.input) & 1ULL) == 0);
+    seen |= 1ULL << r.input;
+    SSQ_EXPECT(r.kind != RequestKind::None);
+    if (r.kind == RequestKind::Gb) SSQ_EXPECT(r.level < layout_.gb_lanes);
+  }
+
+  ArbitrationTrace trace(layout_.bus_width);
+
+  // Phase 1+2 — precharge then wired-OR discharge. `bitlines` records
+  // discharges; a clear bit is a still-charged wire.
+  for (const auto& r : requests) {
+    core::ThermometerCode code(layout_.gb_lanes, r.level);
+    trace.bitlines |=
+        discharge_vector(layout_, r.kind, code, lrg.row(r.input));
+  }
+
+  // Phase 3 — sense.
+  trace.sensed_wire.reserve(requests.size());
+  trace.sensed_charged.reserve(requests.size());
+  std::uint32_t winners = 0;
+  for (const auto& r : requests) {
+    core::ThermometerCode code(layout_.gb_lanes, r.level);
+    const std::uint32_t wire = sense_wire(layout_, r.kind, code, r.input);
+    const bool charged = !trace.bitlines.get(wire);
+    trace.sensed_wire.push_back(wire);
+    trace.sensed_charged.push_back(charged);
+    if (charged) {
+      trace.winner = r.input;
+      ++winners;
+    }
+  }
+  SSQ_ENSURE(winners == 1 && "inhibit arbitration must leave exactly one "
+                             "charged sense wire");
+  return trace;
+}
+
+InputId reference_decision(std::span<const CrosspointRequest> requests,
+                           const arb::LrgArbiter& lrg,
+                           const LaneLayout& layout) {
+  SSQ_EXPECT(!requests.empty());
+
+  auto lrg_best = [&](RequestKind kind, std::uint32_t level,
+                      bool use_level) -> InputId {
+    InputId best = kNoPort;
+    for (const auto& r : requests) {
+      if (r.kind != kind) continue;
+      if (use_level && r.level != level) continue;
+      if (best == kNoPort || lrg.beats(r.input, best)) best = r.input;
+    }
+    return best;
+  };
+
+  // GL beats all.
+  if (InputId w = lrg_best(RequestKind::Gl, 0, false); w != kNoPort) return w;
+
+  // GB: smallest level, LRG tie-break.
+  std::uint32_t min_level = layout.gb_lanes;
+  for (const auto& r : requests) {
+    if (r.kind == RequestKind::Gb && r.level < min_level) min_level = r.level;
+  }
+  if (min_level < layout.gb_lanes) {
+    return lrg_best(RequestKind::Gb, min_level, true);
+  }
+
+  // BE only.
+  return lrg_best(RequestKind::BestEffort, 0, false);
+}
+
+}  // namespace ssq::circuit

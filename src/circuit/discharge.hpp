@@ -1,0 +1,67 @@
+// Per-crosspoint discharge-decision logic (paper Fig. 1(b) and Fig. 3).
+//
+// During the arbitration phase every requesting crosspoint decides, for each
+// lane, which of that lane's `radix` bitlines it pulls down. The paper's
+// cell takes two adjacent thermometer-code bits and produces one of three
+// decisions for the lane:
+//
+//   T_i = 0                 -> discharge ALL bitlines   (my level < lane i:
+//                               inhibit every occupant of a worse lane)
+//   T_i = 1 and T_{i+1} = 0 -> discharge my LRG row     (lane i is my lane:
+//                               inhibit the inputs I beat, tie-break)
+//   T_{i+1} = 1             -> discharge NOTHING        (my level > lane i)
+//
+// with T_{gb_lanes} defined as 0. The GL modification (Fig. 3) ORs in: a GL
+// request discharges every bitline of every GB lane ("In the presence of a
+// GL request, all bitlines in GB class lanes will be discharged") and plays
+// LRG in the GL lane.
+//
+// The paper does not draw the BE cell; we complete it symmetrically: GB and
+// GL requesters discharge the whole BE lane (BE loses to any reserved
+// class), BE requesters play LRG in the BE lane and touch nothing else.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/bus_bits.hpp"
+#include "circuit/lane_layout.hpp"
+#include "core/thermometer.hpp"
+#include "sim/types.hpp"
+
+namespace ssq::circuit {
+
+/// What a crosspoint asserts in one arbitration.
+enum class RequestKind : std::uint8_t { None = 0, BestEffort, Gb, Gl };
+
+/// One lane's discharge decision as produced by the Fig. 1(b) cell, before
+/// mapping onto bus bitlines.
+struct LaneDecision {
+  /// Low `radix` bits; bit j set == pull down this lane's bitline for
+  /// input j.
+  std::uint64_t bits = 0;
+};
+
+/// The Fig. 1(b) cell for a GB request: decision for lane `lane` given the
+/// crosspoint's thermometer code and its LRG row (bit j == "I beat j").
+[[nodiscard]] LaneDecision gb_lane_decision(const core::ThermometerCode& code,
+                                            std::uint32_t lane,
+                                            std::uint64_t lrg_row,
+                                            std::uint32_t radix);
+
+/// Full-bus discharge vector for one crosspoint's request, combining the
+/// Fig. 1(b) cells for every GB lane, the Fig. 3 GL override, and the BE
+/// completion. `lrg_row` is the crosspoint's replicated LRG register.
+[[nodiscard]] BusBits discharge_vector(const LaneLayout& layout,
+                                       RequestKind kind,
+                                       const core::ThermometerCode& code,
+                                       std::uint64_t lrg_row);
+
+/// The bitline this crosspoint's sense amp watches, given its request kind
+/// and thermometer level (paper: "The most significant bits of the auxVC
+/// counter … select the wire to be sensed by the sense amp").
+[[nodiscard]] std::uint32_t sense_wire(const LaneLayout& layout,
+                                       RequestKind kind,
+                                       const core::ThermometerCode& code,
+                                       InputId input);
+
+}  // namespace ssq::circuit

@@ -1,0 +1,68 @@
+// Lane layout of the output bus (paper §3.1/§3.2/§4.4).
+//
+// "A lane has exactly the number of bitlines required to perform LRG
+// arbitration; usually equal to the number of inputs" — so
+// num_lanes = bus_width / radix (Eq. in §4.4). Lanes are assigned, low to
+// high: GB thermometer levels first (lane index == level; lane 0 is the
+// highest priority / smallest auxVC), then the GL lane (Fig. 3), then the BE
+// lane. "To support all three classes, at least three lanes are needed."
+// Fig. 4's GB-only experiment uses all 16 lanes of a 128-bit/radix-8 bus as
+// GB levels ("4 significant bits of auxVC").
+//
+// Wire addressing: input N in lane i senses / is inhibited on bitline
+// i*radix + N (Fig. 1: for N=2 on a 64-bit radix-8 bus, the sense amp can
+// sense wires 2, 10, 18, 26, 34, 42, 50, 58).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/contracts.hpp"
+#include "sim/types.hpp"
+
+namespace ssq::circuit {
+
+struct LaneLayout {
+  std::uint32_t radix = 8;
+  std::uint32_t bus_width = 128;
+  /// Number of lanes carrying GB thermometer levels. Power of two (the level
+  /// is taken from auxVC MSBs).
+  std::uint32_t gb_lanes = 8;
+  bool has_gl_lane = false;
+  bool has_be_lane = false;
+
+  [[nodiscard]] constexpr std::uint32_t num_lanes() const noexcept {
+    return bus_width / radix;
+  }
+  [[nodiscard]] constexpr std::uint32_t lanes_used() const noexcept {
+    return gb_lanes + (has_gl_lane ? 1u : 0u) + (has_be_lane ? 1u : 0u);
+  }
+  [[nodiscard]] constexpr std::uint32_t gl_lane() const noexcept {
+    return gb_lanes;  // valid only if has_gl_lane
+  }
+  [[nodiscard]] constexpr std::uint32_t be_lane() const noexcept {
+    return gb_lanes + (has_gl_lane ? 1u : 0u);  // valid only if has_be_lane
+  }
+
+  /// Bitline index of input `n` in lane `lane`.
+  [[nodiscard]] constexpr std::uint32_t wire(std::uint32_t lane,
+                                             InputId n) const noexcept {
+    return lane * radix + n;
+  }
+
+  /// Bits of auxVC MSB exposed by this layout (log2 of gb_lanes).
+  [[nodiscard]] std::uint32_t level_bits() const noexcept {
+    std::uint32_t b = 0;
+    while ((1u << b) < gb_lanes) ++b;
+    return b;
+  }
+
+  void validate() const {
+    SSQ_EXPECT(radix >= 2 && radix <= 64);
+    SSQ_EXPECT(bus_width % radix == 0);
+    SSQ_EXPECT(gb_lanes >= 1);
+    SSQ_EXPECT((gb_lanes & (gb_lanes - 1)) == 0 && "gb_lanes must be 2^k");
+    SSQ_EXPECT(lanes_used() <= num_lanes());
+  }
+};
+
+}  // namespace ssq::circuit

@@ -1,0 +1,72 @@
+// The multiplexer before the sense amp (paper Fig. 2) — "The most
+// significant bits of the auxVC counter [are used] to select the wire to be
+// sensed by the sense amp", and §4.5: "The critical path is extended by the
+// multiplexer before the sense amp."
+//
+// Modelled as the hardware builds it: a binary tree of 2:1 muxes whose
+// select lines are the auxVC MSBs. depth() — ceil(log2(num_lanes)) — is the
+// critical-path term that produces Table 2's SSVC slowdown (hw::TimingModel
+// grows its mux delay with the lane count). sense() evaluates the tree
+// stage by stage, which the tests check against the direct wire lookup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/bus_bits.hpp"
+#include "circuit/lane_layout.hpp"
+#include "sim/contracts.hpp"
+
+namespace ssq::circuit {
+
+class SenseMux {
+ public:
+  /// `num_lanes` selectable lanes (power of two, as the select lines are
+  /// counter bits).
+  explicit SenseMux(std::uint32_t num_lanes) : num_lanes_(num_lanes) {
+    SSQ_EXPECT(num_lanes >= 1 && num_lanes <= 64);
+    SSQ_EXPECT((num_lanes & (num_lanes - 1)) == 0);
+    while ((1u << depth_) < num_lanes_) ++depth_;
+  }
+
+  /// 2:1-mux tree depth — the §4.5 critical-path extension.
+  [[nodiscard]] std::uint32_t depth() const noexcept { return depth_; }
+
+  /// Number of 2:1 muxes in the tree (area term).
+  [[nodiscard]] std::uint32_t mux_count() const noexcept {
+    return num_lanes_ - 1;
+  }
+
+  /// Evaluates the tree: reads input `n`'s candidate wire from every lane of
+  /// `bus` and selects with `level` as the select lines, one stage (one
+  /// select bit) at a time. Returns the charge of the selected wire
+  /// (true = still charged = won).
+  [[nodiscard]] bool sense(const BusBits& bus, const LaneLayout& layout,
+                           InputId n, std::uint32_t level) const {
+    SSQ_EXPECT(layout.gb_lanes == num_lanes_);
+    SSQ_EXPECT(level < num_lanes_);
+    // Leaf inputs: the candidate wire of every lane. "Charged" is the
+    // absence of a discharge in the BusBits record.
+    std::vector<bool> stage(num_lanes_);
+    for (std::uint32_t lane = 0; lane < num_lanes_; ++lane) {
+      stage[lane] = !bus.get(layout.wire(lane, n));
+    }
+    // Tree evaluation, LSB select bit first.
+    for (std::uint32_t bit = 0; bit < depth_; ++bit) {
+      const bool sel = (level >> bit) & 1u;
+      std::vector<bool> next(stage.size() / 2);
+      for (std::size_t m = 0; m < next.size(); ++m) {
+        next[m] = sel ? stage[2 * m + 1] : stage[2 * m];
+      }
+      stage = std::move(next);
+    }
+    SSQ_ENSURE(stage.size() == 1);
+    return stage[0];
+  }
+
+ private:
+  std::uint32_t num_lanes_;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace ssq::circuit

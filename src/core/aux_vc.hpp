@@ -1,0 +1,120 @@
+// Finite auxVC counter for one crosspoint (paper §3.1).
+//
+// The counter holds the flow's virtual clock *relative to the current
+// real-time epoch* in cycle units: the top `level_bits` form the level
+// exposed to arbitration (via the thermometer code), the low `lsb_bits` are
+// at real-time-clock granularity. On every packet grant:
+//
+//     value <- min(max(value, rt) + Vtick, cap)
+//
+// where `rt` is the epoch-relative real time — the paper's modified step 1
+// (auxVC <- max(auxVC, real_time) - real_time) fused with step 2. The
+// companion ThermometerCode is kept in lock-step by the same incremental
+// updates the hardware performs (shift up on MSB increment, shift down on
+// epoch wrap, compress on halve, clear on reset); `level()` recomputed from
+// the raw value always equals `code().level()` — an invariant the tests
+// exercise.
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+#include "core/thermometer.hpp"
+#include "sim/contracts.hpp"
+
+namespace ssq::core {
+
+class AuxVc {
+ public:
+  /// `vtick_cycles` >= 1: virtual time per granted packet. Pass the value
+  /// returned by quantize_vtick so register-width effects are modelled.
+  AuxVc(const SsvcParams& params, std::uint64_t vtick_cycles)
+      : params_(params),
+        vtick_(vtick_cycles),
+        cap_(params.policy == CounterPolicy::None ? (1ULL << 62)
+                                                  : params.aux_vc_cap()),
+        code_(params.gb_levels()) {
+    params.validate();
+    SSQ_EXPECT(vtick_cycles >= 1);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] std::uint64_t vtick() const noexcept { return vtick_; }
+  [[nodiscard]] std::uint64_t cap() const noexcept { return cap_; }
+
+  /// Arbitration level (0 = highest priority), clamped to the top lane.
+  [[nodiscard]] std::uint32_t level() const noexcept {
+    const std::uint64_t lvl = value_ >> params_.lsb_bits;
+    const std::uint32_t top = params_.gb_levels() - 1;
+    return lvl < top ? static_cast<std::uint32_t>(lvl) : top;
+  }
+
+  [[nodiscard]] const ThermometerCode& code() const noexcept { return code_; }
+
+  /// Commits one packet grant at epoch-relative real time `rt`.
+  /// Returns true iff the counter saturated: either the register hit its cap
+  /// or the thermometer code was pushed to (or past) the top lane — the
+  /// hardware's shift-up with an already-all-ones vector. The halve/reset
+  /// policies treat this as their global management trigger.
+  bool on_grant(std::uint64_t rt) {
+    std::uint64_t v = value_ > rt ? value_ : rt;
+    bool saturated = false;
+    if (v > cap_ - vtick_ && cap_ >= vtick_) {
+      // Would overflow the register: saturate.
+      v = cap_;
+      saturated = true;
+    } else {
+      v += vtick_;
+      if (v >= cap_) {
+        v = cap_;
+        saturated = true;
+      }
+    }
+    value_ = v;
+    code_.set_level(level());
+    // Thermometer shift-up overflow also counts as saturation — except for
+    // the None policy, whose (unbounded) counter simply clamps its level.
+    if (params_.policy != CounterPolicy::None &&
+        code_.level() == code_.width() - 1) {
+      saturated = true;
+    }
+    return saturated;
+  }
+
+  /// Subtract-real-clock policy, epoch wrap: MSB value drops by one
+  /// (value -= 2^lsb_bits, floored at 0); thermometer shifts down one lane.
+  void epoch_wrap() noexcept {
+    const std::uint64_t epoch = params_.epoch_cycles();
+    value_ = value_ >= epoch ? value_ - epoch : 0;
+    code_.shift_down();
+    SSQ_ENSURE(code_.level() == level());
+  }
+
+  /// Halve policy: register shifted down one position; thermometer top half
+  /// copied to bottom half (level halves).
+  void halve() noexcept {
+    value_ >>= 1;
+    code_.halve();
+    SSQ_ENSURE(code_.level() == level());
+  }
+
+  /// Reset policy: register and thermometer cleared.
+  void reset() noexcept {
+    value_ = 0;
+    code_.reset();
+  }
+
+  void set_vtick(std::uint64_t vtick_cycles) {
+    SSQ_EXPECT(vtick_cycles >= 1);
+    vtick_ = vtick_cycles;
+  }
+
+ private:
+  SsvcParams params_;
+  std::uint64_t vtick_;
+  std::uint64_t cap_;
+  std::uint64_t value_ = 0;
+  ThermometerCode code_;
+};
+
+}  // namespace ssq::core

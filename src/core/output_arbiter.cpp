@@ -1,0 +1,217 @@
+#include "core/output_arbiter.hpp"
+
+#include <algorithm>
+
+namespace ssq::core {
+
+namespace {
+
+/// Vtick for input i's GB reservation, quantised to the register.
+std::uint64_t gb_vtick(const SsvcParams& params, const OutputAllocation& alloc,
+                       InputId i) {
+  const double rate = alloc.gb_rate[i];
+  if (rate <= 0.0) return 1;  // inactive crosspoint; value never used
+  return quantize_vtick(params, ideal_vtick(rate, alloc.gb_packet_len));
+}
+
+std::uint64_t gl_vtick(const SsvcParams& params,
+                       const OutputAllocation& alloc) {
+  if (alloc.gl_rate <= 0.0) return 0;  // GL tracking disabled
+  return quantize_vtick(params, ideal_vtick(alloc.gl_rate, alloc.gl_packet_len));
+}
+
+}  // namespace
+
+OutputQosArbiter::OutputQosArbiter(std::uint32_t radix,
+                                   const SsvcParams& params,
+                                   OutputAllocation alloc,
+                                   GlPolicing policing,
+                                   std::uint32_t gl_allowance_packets)
+    : radix_(radix),
+      params_(params),
+      alloc_(std::move(alloc)),
+      lrg_(radix),
+      gl_(gl_vtick(params, alloc_), gl_allowance_packets, policing) {
+  SSQ_EXPECT(radix >= 1 && radix <= 64);
+  params_.validate();
+  alloc_.validate(radix);
+  gb_vc_.reserve(radix);
+  for (InputId i = 0; i < radix; ++i) {
+    gb_vc_.emplace_back(params_, gb_vtick(params_, alloc_, i));
+  }
+}
+
+const AuxVc& OutputQosArbiter::aux_vc(InputId i) const {
+  SSQ_EXPECT(i < radix_);
+  return gb_vc_[i];
+}
+
+std::uint32_t OutputQosArbiter::gb_level(InputId i) const {
+  SSQ_EXPECT(i < radix_);
+  return gb_vc_[i].level();
+}
+
+void OutputQosArbiter::advance_to(Cycle now) {
+  SSQ_EXPECT(now >= last_now_);
+  last_now_ = now;
+  SSQ_EXPECT(now >= epoch_base_);
+  rt_ = now - epoch_base_;
+
+  // The real-time clock counter is lsb_bits wide in every finite-counter
+  // design; its wrap ("once that counter saturates") subtracts one MSB from
+  // every auxVC and shifts the thermometer codes down. This runs for all
+  // three management policies — it is how real time is kept.
+  if (params_.policy != CounterPolicy::None) {
+    const std::uint64_t epoch = params_.epoch_cycles();
+    while (rt_ >= epoch) {
+      for (auto& vc : gb_vc_) vc.epoch_wrap();
+      epoch_base_ += epoch;
+      rt_ -= epoch;
+    }
+  }
+}
+
+void OutputQosArbiter::on_saturation(Cycle /*now*/) {
+  // Global management event when any auxVC register saturates despite the
+  // periodic subtraction — which is what happens on multi-packet bursts
+  // from low-rate (large-Vtick) flows, the paper's "especially during
+  // bursty injection" case. The subtract policy merely clamps the register
+  // (a bounded debt that still takes ~cap cycles to decay); halving and
+  // resetting erase the banked debt for everyone at once, "reduc[ing] the
+  // number of unique thermometer code values in existence" so LRG resolves
+  // more of the contention.
+  switch (params_.policy) {
+    case CounterPolicy::Halve:
+      for (auto& vc : gb_vc_) vc.halve();
+      break;
+    case CounterPolicy::Reset:
+      for (auto& vc : gb_vc_) vc.reset();
+      break;
+    case CounterPolicy::SubtractRealClock:
+    case CounterPolicy::None:
+      break;  // no global event for these policies; registers clamp
+  }
+}
+
+InputId OutputQosArbiter::lrg_pick(std::span<const ClassRequest> reqs) const {
+  if (reqs.empty()) return kNoPort;
+  std::uint64_t mask = 0;
+  for (const auto& r : reqs) mask |= 1ULL << r.input;
+  for (const auto& r : reqs) {
+    const std::uint64_t others = mask & ~(1ULL << r.input);
+    if ((lrg_.row(r.input) & others) == others) return r.input;
+  }
+  SSQ_ENSURE(false && "LRG matrix lost its total order");
+  return kNoPort;
+}
+
+InputId OutputQosArbiter::pick(std::span<const ClassRequest> requests,
+                               Cycle now) {
+  SSQ_EXPECT(now == last_now_ && "call advance_to(now) before pick()");
+  std::uint64_t seen = 0;
+  for (const auto& r : requests) {
+    SSQ_EXPECT(r.input < radix_);
+    SSQ_EXPECT(((seen >> r.input) & 1ULL) == 0);
+    seen |= 1ULL << r.input;
+  }
+  if (requests.empty()) return kNoPort;
+
+  // Stage 1 — GL override (Fig. 3): any *eligible* GL request discharges all
+  // GB lanes; GL inputs LRG-arbitrate in the GL lane.
+  const bool gl_ok = gl_.eligible(now);
+  std::vector<ClassRequest> bucket;
+  bucket.reserve(requests.size());
+  if (gl_ok) {
+    for (const auto& r : requests)
+      if (r.cls == TrafficClass::GuaranteedLatency) bucket.push_back(r);
+    if (!bucket.empty()) {
+      const InputId w = lrg_pick(bucket);
+      picked_class_ = TrafficClass::GuaranteedLatency;
+      return w;
+    }
+  }
+
+  // Stage 2 — GB: smallest thermometer level wins; LRG breaks ties in-lane.
+  bucket.clear();
+  std::uint32_t min_level = params_.gb_levels();
+  for (const auto& r : requests) {
+    if (r.cls != TrafficClass::GuaranteedBandwidth) continue;
+    SSQ_EXPECT(alloc_.gb_rate[r.input] > 0.0 &&
+               "GB request from an input with no reservation");
+    min_level = std::min(min_level, gb_vc_[r.input].level());
+  }
+  for (const auto& r : requests) {
+    if (r.cls == TrafficClass::GuaranteedBandwidth &&
+        gb_vc_[r.input].level() == min_level) {
+      bucket.push_back(r);
+    }
+  }
+  if (!bucket.empty()) {
+    const InputId w = lrg_pick(bucket);
+    picked_class_ = TrafficClass::GuaranteedBandwidth;
+    return w;
+  }
+
+  // Stage 3 — BE, plus GL requests demoted by the policer if so configured.
+  bucket.clear();
+  for (const auto& r : requests) {
+    if (r.cls == TrafficClass::BestEffort) bucket.push_back(r);
+    if (r.cls == TrafficClass::GuaranteedLatency && !gl_ok &&
+        gl_.policing() == GlPolicing::Demote) {
+      bucket.push_back(r);
+    }
+  }
+  if (!bucket.empty()) {
+    std::uint64_t dup = 0;  // an input could appear as both GL and BE? No —
+    for (const auto& r : bucket) {
+      SSQ_EXPECT(((dup >> r.input) & 1ULL) == 0);
+      dup |= 1ULL << r.input;
+    }
+    const InputId w = lrg_pick(bucket);
+    for (const auto& r : bucket) {
+      if (r.input == w) picked_class_ = r.cls;
+    }
+    return w;
+  }
+
+  // Only stalled GL requests present: no winner this cycle.
+  return kNoPort;
+}
+
+void OutputQosArbiter::on_grant(InputId input, TrafficClass cls,
+                                std::uint32_t length, Cycle now) {
+  SSQ_EXPECT(input < radix_);
+  SSQ_EXPECT(length >= 1);
+  SSQ_EXPECT(now == last_now_ && "call advance_to(now) before on_grant()");
+
+  lrg_.on_grant(input, length, now);
+  switch (cls) {
+    case TrafficClass::GuaranteedBandwidth: {
+      const bool saturated = gb_vc_[input].on_grant(rt_);
+      if (saturated && (params_.policy == CounterPolicy::Halve ||
+                        params_.policy == CounterPolicy::Reset)) {
+        on_saturation(now);
+      }
+      break;
+    }
+    case TrafficClass::GuaranteedLatency:
+      gl_.on_grant(now);
+      break;
+    case TrafficClass::BestEffort:
+      break;
+  }
+}
+
+void OutputQosArbiter::reset() {
+  lrg_.reset();
+  for (InputId i = 0; i < radix_; ++i) {
+    gb_vc_[i] = AuxVc(params_, gb_vtick(params_, alloc_, i));
+  }
+  gl_.reset();
+  epoch_base_ = 0;
+  rt_ = 0;
+  last_now_ = 0;
+  picked_class_ = TrafficClass::BestEffort;
+}
+
+}  // namespace ssq::core

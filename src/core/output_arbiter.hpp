@@ -1,0 +1,106 @@
+// Three-class SSVC output arbitration (paper §3) — the behavioural model of
+// what the modified inhibit-based circuit computes in one clock cycle.
+//
+// Per output channel:
+//   * one LRG matrix (shared by all classes, as in the silicon where each
+//     crosspoint stores its 63-bit LRG row),
+//   * one AuxVc + Vtick per input's GB flow (the crosspoint state),
+//   * one GlTracker for the shared GL reservation,
+//   * the finite-counter management policy.
+//
+// A single pick() resolves all three classes exactly as the circuit does:
+// any eligible GL request discharges every GB lane (Fig. 3) and GL inputs
+// LRG-arbitrate in the GL lane; otherwise GB requests compete by thermometer
+// level (smallest auxVC level wins) with LRG breaking ties inside a lane;
+// otherwise BE requests LRG-arbitrate. All of this is one arbitration — the
+// paper's single-cycle contribution versus the two-cycle scheme of [14].
+//
+// Equivalence with the bit-level circuit model (src/circuit) is established
+// by the §4.1-style verification tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arb/lrg.hpp"
+#include "core/allocation.hpp"
+#include "core/aux_vc.hpp"
+#include "core/gl_tracker.hpp"
+#include "core/params.hpp"
+#include "sim/types.hpp"
+
+namespace ssq::core {
+
+/// One input's request in a three-class arbitration.
+struct ClassRequest {
+  InputId input = 0;
+  TrafficClass cls = TrafficClass::BestEffort;
+  std::uint32_t length = 1;
+};
+
+class OutputQosArbiter {
+ public:
+  /// `gl_allowance_packets` parameterises the GL policer (see GlTracker).
+  OutputQosArbiter(std::uint32_t radix, const SsvcParams& params,
+                   OutputAllocation alloc,
+                   GlPolicing policing = GlPolicing::Stall,
+                   std::uint32_t gl_allowance_packets = 32);
+
+  /// Advances internal real-time bookkeeping to `now`. Must be called with
+  /// non-decreasing `now` before pick()/on_grant() at that cycle; handles
+  /// epoch wraps (subtract-real-clock policy). Idempotent within a cycle.
+  void advance_to(Cycle now);
+
+  /// Picks the winner of a single-cycle arbitration at `now`, or kNoPort if
+  /// no request is serviceable (empty, or GL-only and the GL class is
+  /// stalled by the policer). Does not mutate arbitration state.
+  [[nodiscard]] InputId pick(std::span<const ClassRequest> requests,
+                             Cycle now);
+
+  /// Class the last pick's winner belonged to (after policing, a demoted GL
+  /// request reports BestEffort priority but retains its own class — this
+  /// returns the *class of the winning request*).
+  [[nodiscard]] TrafficClass picked_class() const noexcept {
+    return picked_class_;
+  }
+
+  /// Commits a grant. `cls` must be the winner's traffic class.
+  void on_grant(InputId input, TrafficClass cls, std::uint32_t length,
+                Cycle now);
+
+  void reset();
+
+  // ---- introspection (tests, benches, circuit cross-checks) ----
+  [[nodiscard]] std::uint32_t radix() const noexcept { return radix_; }
+  [[nodiscard]] const SsvcParams& params() const noexcept { return params_; }
+  [[nodiscard]] const OutputAllocation& allocation() const noexcept {
+    return alloc_;
+  }
+  [[nodiscard]] const AuxVc& aux_vc(InputId i) const;
+  [[nodiscard]] std::uint32_t gb_level(InputId i) const;
+  [[nodiscard]] const arb::LrgArbiter& lrg() const noexcept { return lrg_; }
+  [[nodiscard]] arb::LrgArbiter& lrg() noexcept { return lrg_; }
+  [[nodiscard]] const GlTracker& gl_tracker() const noexcept { return gl_; }
+  /// Epoch-relative real time at the last advance_to().
+  [[nodiscard]] std::uint64_t epoch_rt() const noexcept { return rt_; }
+
+ private:
+  /// Applies the halve/reset global management event.
+  void on_saturation(Cycle now);
+
+  [[nodiscard]] InputId lrg_pick(std::span<const ClassRequest> reqs) const;
+
+  std::uint32_t radix_;
+  SsvcParams params_;
+  OutputAllocation alloc_;
+  arb::LrgArbiter lrg_;
+  std::vector<AuxVc> gb_vc_;  // one per input (crosspoint column state)
+  GlTracker gl_;
+  Cycle epoch_base_ = 0;
+  std::uint64_t rt_ = 0;  // now - epoch_base_
+  Cycle last_now_ = 0;
+  TrafficClass picked_class_ = TrafficClass::BestEffort;
+};
+
+}  // namespace ssq::core

@@ -1,0 +1,32 @@
+#include "core/params.hpp"
+
+#include <cmath>
+
+namespace ssq::core {
+
+std::uint64_t quantize_vtick(const SsvcParams& params,
+                             double ideal_vtick_cycles) {
+  SSQ_EXPECT(ideal_vtick_cycles > 0.0);
+  const double scaled =
+      ideal_vtick_cycles / static_cast<double>(1ULL << params.vtick_shift);
+  auto reg = static_cast<std::uint64_t>(std::llround(scaled));
+  if (reg < 1) reg = 1;
+  const std::uint64_t reg_max = (1ULL << params.vtick_bits) - 1;
+  if (reg > reg_max) reg = reg_max;
+  return reg << params.vtick_shift;
+}
+
+double ideal_vtick(double rate, std::uint32_t packet_len) {
+  SSQ_EXPECT(rate > 0.0 && rate <= 1.0);
+  SSQ_EXPECT(packet_len >= 1);
+  // Every packet costs packet_len transfer cycles PLUS the arbitration cycle
+  // (the Swizzle Switch reuses the output bus wires to arbitrate, so a
+  // channel delivers at most L/(L+1) flits/cycle). A flow reserving
+  // fraction `rate` of the channel is therefore entitled to one packet per
+  // (L+1)/rate cycles. Calibrating Vtick against L/rate instead would make
+  // every admissible reservation collectively infeasible and the real-time
+  // clamp would wash out the differentiation.
+  return static_cast<double>(packet_len + 1) / rate;
+}
+
+}  // namespace ssq::core

@@ -1,0 +1,83 @@
+// Thermometer code vector (paper §3.1 "Thermometer Code Creation").
+//
+// The top `level_bits` bits of an auxVC counter encode a level m; the
+// hardware stores it one-hot-prefix style as a thermometer vector with bits
+// T_0..T_m set (T_0 is hardwired 1 in Fig. 1's examples: a present flow
+// always occupies at least lane 0). Lower level = smaller auxVC = higher
+// priority.
+//
+// The hardware never recomputes the vector from the counter — it shifts it
+// up when the auxVC MSBs increment, shifts every vector down on a real-time
+// epoch wrap, and compresses or clears it for the halve/reset policies. This
+// class mirrors those incremental updates so the circuit model can be tested
+// for equivalence against recomputation from the level.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/contracts.hpp"
+
+namespace ssq::core {
+
+class ThermometerCode {
+ public:
+  /// `width` = number of lanes (GB levels), 1..64.
+  explicit ThermometerCode(std::uint32_t width, std::uint32_t level = 0)
+      : width_(width) {
+    SSQ_EXPECT(width >= 1 && width <= 64);
+    set_level(level);
+  }
+
+  [[nodiscard]] std::uint32_t width() const noexcept { return width_; }
+
+  /// Encoded level: index of the highest set bit. bits() always has at least
+  /// T_0 set, so level() is in [0, width).
+  [[nodiscard]] std::uint32_t level() const noexcept { return level_; }
+
+  /// Raw vector; bit i == T_i.
+  [[nodiscard]] std::uint64_t bits() const noexcept {
+    return (width_ == 64 ? ~0ULL : ((1ULL << (level_ + 1)) - 1));
+  }
+
+  [[nodiscard]] bool bit(std::uint32_t i) const noexcept {
+    SSQ_EXPECT(i < width_);
+    return i <= level_;
+  }
+
+  /// Direct (re)encode from a level; clamps to the top lane, matching the
+  /// hardware where levels past the last lane all share it.
+  void set_level(std::uint32_t level) noexcept {
+    level_ = level < width_ ? level : width_ - 1;
+  }
+
+  /// Hardware update: auxVC MSBs incremented -> one more lane occupied.
+  /// Saturates at the top lane.
+  void shift_up() noexcept {
+    if (level_ + 1 < width_) ++level_;
+  }
+
+  /// Hardware update on real-time epoch wrap: one lane released. Floors at
+  /// lane 0.
+  void shift_down() noexcept {
+    if (level_ > 0) --level_;
+  }
+
+  /// Halve policy: "the auxVC register is shifted down by 1 position and the
+  /// top half of the thermometer code is copied to the bottom half and then
+  /// reset" — i.e. the encoded level halves.
+  void halve() noexcept { level_ /= 2; }
+
+  /// Reset policy: all thermometer codes cleared to level 0.
+  void reset() noexcept { level_ = 0; }
+
+  friend bool operator==(const ThermometerCode& a,
+                         const ThermometerCode& b) noexcept {
+    return a.width_ == b.width_ && a.level_ == b.level_;
+  }
+
+ private:
+  std::uint32_t width_;
+  std::uint32_t level_ = 0;
+};
+
+}  // namespace ssq::core

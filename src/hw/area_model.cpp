@@ -1,0 +1,32 @@
+#include "hw/area_model.hpp"
+
+#include "sim/contracts.hpp"
+
+namespace ssq::hw {
+
+namespace {
+
+constexpr double kBaseWidth = 128.0;
+/// SSVC logic area as a fraction of the 128-bit crosspoint footprint,
+/// calibrated to the paper's "+2 % at 128-bit channels".
+constexpr double kSsvcLogicFraction = 0.02;
+
+double footprint(double bits) { return bits * bits; }
+
+}  // namespace
+
+double ssvc_area_overhead(std::uint32_t channel_bits) {
+  SSQ_EXPECT(channel_bits >= 32);
+  const double fp = footprint(static_cast<double>(channel_bits));
+  const double logic =
+      footprint(kBaseWidth) * (1.0 + kSsvcLogicFraction);  // arb + SSVC
+  const double spill = logic - fp;
+  return spill > 0.0 ? spill / fp : 0.0;
+}
+
+double ssvc_equivalent_channel_bits(std::uint32_t channel_bits) {
+  return static_cast<double>(channel_bits) *
+         (1.0 + ssvc_area_overhead(channel_bits));
+}
+
+}  // namespace ssq::hw

@@ -1,0 +1,33 @@
+// SSVC crosspoint area model (paper §4.5).
+//
+// The Swizzle Switch's arbitration logic sits underneath the crosspoint on a
+// separate metal layer; without QoS it "fits within the same area as the
+// crosspoint width of a 128-bit channel". The SSVC additions (auxVC
+// counters, the Vtick adder, the sense-amp lane multiplexer) need a fixed
+// amount of extra logic area. At 128-bit channels that spills past the
+// footprint by 2 % ("equivalent to the area of a 131-bit channel"); at
+// 256/512-bit the footprint — which grows quadratically with channel width,
+// being the intersection of the input and output buses — absorbs it for
+// free.
+//
+// Model: footprint(w) ∝ w²; baseline arbitration logic exactly fills
+// footprint(128); SSVC logic adds 2 % of footprint(128) (calibrated to the
+// paper's 128-bit figure). Overhead(w) = max(0, logic − footprint(w)) /
+// footprint(w).
+#pragma once
+
+#include <cstdint>
+
+namespace ssq::hw {
+
+/// Fractional crosspoint area overhead of SSVC at the given channel width
+/// (0.02 at 128 bits; 0 at 256/512 bits).
+[[nodiscard]] double ssvc_area_overhead(std::uint32_t channel_bits);
+
+/// The channel width whose un-augmented crosspoint has the same area as the
+/// SSVC-augmented crosspoint at `channel_bits` (the paper's "131-bit
+/// channel" equivalence at 128 bits, using the paper's linear bit-slice
+/// equivalence).
+[[nodiscard]] double ssvc_equivalent_channel_bits(std::uint32_t channel_bits);
+
+}  // namespace ssq::hw

@@ -1,0 +1,33 @@
+// Arbitration energy model (extension).
+//
+// The Swizzle Switch's headline efficiency comes from reusing the output
+// data bus for arbitration [15][16]: the dynamic energy of one arbitration
+// is the energy of the bitlines actually discharged. The bit-level circuit
+// model (src/circuit) reports exactly how many bitlines each arbitration
+// pulls down, so a relative energy comparison between arbitration schemes
+// (LRG-only vs SSVC, few vs many lanes) falls out of the reproduction.
+//
+// Constants: a 128-bit, radix-64 bitline is ~1 pJ-class in 32/45 nm
+// literature; we normalise to `kBitlineEnergyPj` per discharged bitline at
+// radix 64 and scale linearly with bitline length (= radix crosspoints).
+// Absolute numbers are indicative; the benches compare *relative* energy.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/contracts.hpp"
+
+namespace ssq::hw {
+
+/// Energy of one arbitration that discharged `discharged_bitlines` wires on
+/// a switch of the given radix, in picojoules (relative scale).
+[[nodiscard]] inline double arbitration_energy_pj(
+    std::uint32_t discharged_bitlines, std::uint32_t radix) {
+  SSQ_EXPECT(radix >= 2 && radix <= 64);
+  constexpr double kBitlineEnergyPjAtRadix64 = 1.0;
+  const double per_bitline =
+      kBitlineEnergyPjAtRadix64 * static_cast<double>(radix) / 64.0;
+  return per_bitline * static_cast<double>(discharged_bitlines);
+}
+
+}  // namespace ssq::hw

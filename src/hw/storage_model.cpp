@@ -1,0 +1,35 @@
+#include "hw/storage_model.hpp"
+
+#include "sim/contracts.hpp"
+
+namespace ssq::hw {
+
+StorageBreakdown compute_storage(const StorageParams& p) {
+  SSQ_EXPECT(p.radix >= 2 && p.radix <= 64);
+  SSQ_EXPECT(p.flit_bytes >= 1);
+
+  StorageBreakdown b;
+  const double flit = static_cast<double>(p.flit_bytes);
+  const double radix = static_cast<double>(p.radix);
+
+  b.be_buffer_bytes = p.be_buffer_flits * flit;
+  b.gb_buffer_bytes = p.gb_buffer_flits * flit * radix;  // one queue per out
+  b.gl_buffer_bytes = p.gl_buffer_flits * flit;
+  b.per_input_bytes = b.be_buffer_bytes + b.gb_buffer_bytes + b.gl_buffer_bytes;
+  b.total_buffering_bytes = b.per_input_bytes * radix;
+
+  b.aux_vc_bytes = p.aux_vc_bits / 8.0;
+  b.thermometer_bytes = p.thermometer_bits / 8.0;
+  b.vtick_bytes = p.vtick_bits / 8.0;
+  b.lrg_bytes = (p.radix - 1) / 8.0;  // 63 bits at radix 64
+  b.per_crosspoint_bytes =
+      b.aux_vc_bytes + b.thermometer_bytes + b.vtick_bytes + b.lrg_bytes;
+  b.num_crosspoints = static_cast<std::uint64_t>(p.radix) * p.radix;
+  b.total_crosspoint_bytes =
+      b.per_crosspoint_bytes * static_cast<double>(b.num_crosspoints);
+
+  b.total_bytes = b.total_buffering_bytes + b.total_crosspoint_bytes;
+  return b;
+}
+
+}  // namespace ssq::hw

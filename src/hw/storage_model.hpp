@@ -1,0 +1,63 @@
+// SSVC storage cost model — reproduces Table 1.
+//
+// Two components:
+//   * input-port buffering: one BE buffer, one GB buffer per output (the
+//     crosspoint queue), one GL buffer — each `buffer_flits` deep at
+//     `flit_bytes` per flit;
+//   * per-crosspoint QoS state: the auxVC register (level+LSB bits), the
+//     thermometer code register (one bit per GB lane), the Vtick register,
+//     and the replicated LRG row (radix-1 bits).
+//
+// Table 1's worst case (radix 64, 512-bit buses, 64-byte flits, 4-flit
+// buffers) evaluates to 1,056 KiB of buffering + 45 KiB of crosspoint state
+// = 1,101 KiB — the OCR of the paper prints these as "1,56 K", "45 K" and
+// "1,11 K" (commas eaten). The per-crosspoint cells are 11 bits (1.375 B,
+// printed "1.35"), 8 bits, 8 bits, and 63 bits (7.875 B, printed ".85").
+#pragma once
+
+#include <cstdint>
+
+namespace ssq::hw {
+
+struct StorageParams {
+  std::uint32_t radix = 64;
+  std::uint32_t flit_bytes = 64;        // 512-bit channel
+  std::uint32_t be_buffer_flits = 4;
+  std::uint32_t gb_buffer_flits = 4;    // per output
+  std::uint32_t gl_buffer_flits = 4;
+  std::uint32_t aux_vc_bits = 11;       // 3 level + 8 LSB (Table 1)
+  std::uint32_t thermometer_bits = 8;   // one per GB lane
+  std::uint32_t vtick_bits = 8;
+};
+
+struct StorageBreakdown {
+  // Per input port, bytes.
+  double be_buffer_bytes = 0.0;
+  double gb_buffer_bytes = 0.0;  // all outputs
+  double gl_buffer_bytes = 0.0;
+  double per_input_bytes = 0.0;
+  double total_buffering_bytes = 0.0;  // all inputs
+
+  // Per crosspoint, bytes.
+  double aux_vc_bytes = 0.0;
+  double thermometer_bytes = 0.0;
+  double vtick_bytes = 0.0;
+  double lrg_bytes = 0.0;
+  double per_crosspoint_bytes = 0.0;
+  std::uint64_t num_crosspoints = 0;
+  double total_crosspoint_bytes = 0.0;
+
+  double total_bytes = 0.0;
+
+  [[nodiscard]] double total_buffering_kib() const {
+    return total_buffering_bytes / 1024.0;
+  }
+  [[nodiscard]] double total_crosspoint_kib() const {
+    return total_crosspoint_bytes / 1024.0;
+  }
+  [[nodiscard]] double total_kib() const { return total_bytes / 1024.0; }
+};
+
+[[nodiscard]] StorageBreakdown compute_storage(const StorageParams& p);
+
+}  // namespace ssq::hw

@@ -1,0 +1,72 @@
+#include "hw/timing_model.hpp"
+
+#include <cmath>
+
+#include "sim/contracts.hpp"
+
+namespace ssq::hw {
+
+namespace {
+
+// Published anchors.
+constexpr double kAnchorFreqGhz = 1.5;   // SS, radix 64, 128-bit [16]
+constexpr std::uint32_t kAnchorRadix = 64;
+constexpr std::uint32_t kAnchorWidth = 128;
+constexpr double kWorstSlowdown = 0.084;  // SSVC, radix 8, 256-bit (§4.5)
+constexpr std::uint32_t kWorstRadix = 8;
+constexpr std::uint32_t kWorstWidth = 256;
+
+}  // namespace
+
+TimingModel::TimingModel()
+    : t_fixed_ps_(100.0), mux_exponent_(0.6) {
+  // Solve k_wire from the 1.5 GHz anchor: t_fixed + k·(64·128) = 1000/1.5.
+  const double anchor_delay = 1000.0 / kAnchorFreqGhz;
+  k_wire_ps_per_bit_ = (anchor_delay - t_fixed_ps_) /
+                       (static_cast<double>(kAnchorRadix) * kAnchorWidth);
+  SSQ_ENSURE(k_wire_ps_per_bit_ > 0.0);
+
+  // Solve k_mux from the worst-slowdown anchor:
+  //   t_mux / (t_SS + t_mux) = s  =>  t_mux = t_SS · s / (1 - s).
+  const double base =
+      t_fixed_ps_ +
+      k_wire_ps_per_bit_ * static_cast<double>(kWorstRadix) * kWorstWidth;
+  const double t_mux = base * kWorstSlowdown / (1.0 - kWorstSlowdown);
+  const double lanes = static_cast<double>(kWorstWidth) / kWorstRadix;
+  k_mux_ps_ = t_mux / std::pow(lanes, mux_exponent_);
+  SSQ_ENSURE(k_mux_ps_ > 0.0);
+}
+
+double TimingModel::ss_delay_ps(std::uint32_t radix,
+                                std::uint32_t channel_bits) const {
+  SSQ_EXPECT(radix >= 2 && radix <= 64);
+  SSQ_EXPECT(channel_bits >= radix);
+  return t_fixed_ps_ +
+         k_wire_ps_per_bit_ * static_cast<double>(radix) * channel_bits;
+}
+
+double TimingModel::ssvc_delay_ps(std::uint32_t radix,
+                                  std::uint32_t channel_bits) const {
+  const double lanes = static_cast<double>(channel_bits) / radix;
+  return ss_delay_ps(radix, channel_bits) +
+         k_mux_ps_ * std::pow(lanes, mux_exponent_);
+}
+
+double TimingModel::ss_freq_ghz(std::uint32_t radix,
+                                std::uint32_t channel_bits) const {
+  return 1000.0 / ss_delay_ps(radix, channel_bits);
+}
+
+double TimingModel::ssvc_freq_ghz(std::uint32_t radix,
+                                  std::uint32_t channel_bits) const {
+  return 1000.0 / ssvc_delay_ps(radix, channel_bits);
+}
+
+double TimingModel::slowdown(std::uint32_t radix,
+                             std::uint32_t channel_bits) const {
+  const double ss = ss_delay_ps(radix, channel_bits);
+  const double ssvc = ssvc_delay_ps(radix, channel_bits);
+  return (ssvc - ss) / ssvc;
+}
+
+}  // namespace ssq::hw

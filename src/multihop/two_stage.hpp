@@ -1,0 +1,155 @@
+// Two-stage composed network — the §4.4 scalability argument, made runnable.
+//
+// "Scaling to more nodes involve[s] composing multiple switches, which makes
+// the QoS technique more complex. Crosspoints will have to be shared by
+// several flows, requiring more per-flow state storage. In addition,
+// composing multiple switches introduces conflicts in buffers at the input
+// port. It becomes increasingly difficult to maintain separation between
+// flows in buffers."
+//
+// Topology: `groups` first-stage concentrators, each with `nodes_per_group`
+// local source nodes and ONE uplink, feeding a second-stage switch whose
+// `groups` inputs (the uplinks) fan out to `dests` destination outputs.
+//
+//   node --> [stage-1 switch: nodes_per_group x 1] --uplink-->
+//        --> [stage-2 switch: groups x dests] --> destination
+//
+// Each hop runs an independent SSVC OutputQosArbiter with per-hop class
+// buffering and the same 1-cycle-arbitration + L-transfer-cycle channel
+// model as the single-stage simulator. The deliberately-reproduced
+// pathology: a stage-2 crosspoint belongs to an UPLINK, not to a source
+// node, so every flow from the same group shares one auxVC counter and one
+// set of class buffers there — per-flow separation is lost exactly as the
+// paper warns. The stage-2 uplink reservation is the SUM of the group's
+// per-flow reservations, so aggregate guarantees survive while per-flow
+// guarantees inside a group do not (bench/sec44_composition measures both).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/output_arbiter.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+#include "stats/latency.hpp"
+#include "stats/throughput.hpp"
+#include "switch/packet.hpp"
+#include "traffic/flow.hpp"
+#include "traffic/injector.hpp"
+
+namespace ssq::multihop {
+
+struct TwoStageConfig {
+  std::uint32_t groups = 4;           // first-stage switches / uplinks
+  std::uint32_t nodes_per_group = 4;  // local inputs per first-stage switch
+  std::uint32_t dests = 4;            // second-stage outputs
+  core::SsvcParams ssvc{};
+  /// Per-hop buffer depth, flits, per class queue.
+  std::uint32_t hop_buffer_flits = 32;
+  std::uint64_t seed = 0x25717;
+
+  [[nodiscard]] std::uint32_t num_nodes() const {
+    return groups * nodes_per_group;
+  }
+  void validate() const;
+};
+
+/// A flow through the composed network: source node -> destination output.
+struct HopFlow {
+  std::uint32_t node = 0;  // global node id (group = node / nodes_per_group)
+  OutputId dest = 0;
+  TrafficClass cls = TrafficClass::GuaranteedBandwidth;
+  double reserved_rate = 0.0;  // fraction of the DESTINATION channel
+  std::uint32_t packet_len = 8;
+  traffic::InjectKind inject = traffic::InjectKind::Bernoulli;
+  double inject_rate = 0.0;  // flits/cycle
+};
+
+class TwoStageNetwork {
+ public:
+  TwoStageNetwork(const TwoStageConfig& config, std::vector<HopFlow> flows);
+
+  void step();
+  void run(Cycle cycles);
+  void warmup(Cycle cycles);
+  void measure(Cycle cycles);
+
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t num_flows() const noexcept {
+    return flows_.size();
+  }
+  [[nodiscard]] const HopFlow& flow(std::size_t f) const;
+
+  /// End-to-end delivered rate (flits/cycle at the destination).
+  [[nodiscard]] const stats::ThroughputMeter& throughput() const noexcept {
+    return throughput_;
+  }
+  /// End-to-end packet latency (source-queue exit -> delivery).
+  [[nodiscard]] const stats::LatencyRecorder& latency() const noexcept {
+    return latency_;
+  }
+  [[nodiscard]] std::uint64_t delivered_packets(std::size_t f) const;
+
+ private:
+  // One queued packet with its owning flow.
+  struct QueuedPacket {
+    sw::Packet pkt;
+  };
+
+  /// A point-to-point channel (stage-1 uplink or stage-2 output): holds the
+  /// active transmission; 1 arbitration cycle + L transfer cycles.
+  struct Channel {
+    Cycle free_at = 0;
+    sw::Packet pkt{};
+    Cycle first_flit = 0;
+    Cycle last_flit = 0;
+    bool active = false;
+  };
+
+  /// Per-class FIFO set with flit-occupancy accounting.
+  struct ClassBuffers {
+    std::deque<sw::Packet> q[kNumClasses];
+    std::uint32_t occ[kNumClasses] = {0, 0, 0};
+  };
+
+  void inject();
+  void stage1_transfer_and_arbitrate();
+  void stage2_transfer_and_arbitrate();
+
+  TwoStageConfig config_;
+  std::vector<HopFlow> flows_;
+  Rng rng_;
+  Cycle now_ = 0;
+  PacketId next_id_ = 0;
+
+  std::vector<traffic::Injector> injectors_;
+  std::vector<std::deque<sw::Packet>> source_q_;  // per flow (unbounded)
+  std::vector<std::vector<std::size_t>> node_flows_;  // flows per node
+  std::vector<std::size_t> accept_ptr_;               // admission round-robin
+
+  // Stage 1: per node, per-class buffers feeding the group's uplink.
+  std::vector<ClassBuffers> node_buf_;                    // [node]
+  std::vector<Cycle> node_free_at_;                       // [node]
+  std::vector<std::unique_ptr<core::OutputQosArbiter>> uplink_arb_;  // [group]
+  std::vector<Channel> uplink_;                           // [group]
+
+  // Stage 2: per (uplink input, dest) GB queues plus ONE shared BE queue per
+  // uplink input (stored at s2_buf_[g][0]) — the crosspoint-granular state
+  // the paper warns about. Credits: flits reserved at uplink-grant time
+  // until the packet lands downstream.
+  std::vector<std::vector<ClassBuffers>> s2_buf_;  // [group][dest]
+  std::vector<std::vector<std::uint32_t>> s2_reserved_;  // [group][dest], GB
+  std::vector<std::uint32_t> s2_reserved_be_;            // [group]
+  std::vector<std::unique_ptr<core::OutputQosArbiter>> dest_arb_;  // [dest]
+  std::vector<Channel> dest_ch_;                                   // [dest]
+  std::vector<Cycle> s2_input_free_at_;   // uplink input drives one flit/cyc
+
+  stats::LatencyRecorder latency_;
+  stats::ThroughputMeter throughput_;
+  std::vector<std::uint64_t> delivered_;
+  bool measuring_ = true;
+};
+
+}  // namespace ssq::multihop

@@ -1,0 +1,48 @@
+#include "qosmath/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/contracts.hpp"
+
+namespace ssq::qosmath {
+
+GlAdmissionResult admit_gl_senders(std::vector<GlSender> senders,
+                                   GlBoundParams params) {
+  SSQ_EXPECT(!senders.empty());
+  params.n_gl = static_cast<std::uint32_t>(senders.size());
+
+  GlAdmissionResult result;
+  result.burst_packets.assign(senders.size(), 0);
+
+  // Sort by deadline, tightest first (the Eq. 2-3 ordering), remembering
+  // each sender's original position.
+  std::vector<std::size_t> order(senders.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return senders[a].deadline_cycles < senders[b].deadline_cycles;
+  });
+
+  // Feasibility: even an isolated packet can wait up to tau_GL (Eq. 1).
+  const double tau = gl_wait_bound(params);
+  result.feasible = true;
+  for (const auto& s : senders) {
+    SSQ_EXPECT(s.deadline_cycles > 0.0);
+    if (s.deadline_cycles < tau) result.feasible = false;
+  }
+
+  std::vector<double> constraints;
+  constraints.reserve(senders.size());
+  for (std::size_t k : order) {
+    constraints.push_back(senders[k].deadline_cycles);
+  }
+  const auto sigma = gl_burst_budget(constraints, params.l_max);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    result.burst_packets[order[rank]] = static_cast<std::uint32_t>(
+        std::max(0.0, std::floor(sigma[rank])));
+  }
+  return result;
+}
+
+}  // namespace ssq::qosmath

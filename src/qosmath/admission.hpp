@@ -1,0 +1,40 @@
+// GL-class admission control — the runtime counterpart of Eqs. (1)-(3):
+// given the senders that want to inject time-critical bursts to an output
+// and their latency constraints, decide whether the constraints are
+// satisfiable at all (Eq. 1) and apportion per-sender burst budgets
+// (Eqs. 2-3), mapped back to sender identities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qosmath/gl_bound.hpp"
+#include "sim/types.hpp"
+
+namespace ssq::qosmath {
+
+struct GlSender {
+  InputId input = 0;
+  /// The worst network wait (cycles) this sender's packets tolerate.
+  double deadline_cycles = 0.0;
+};
+
+struct GlAdmissionResult {
+  /// True iff every sender's deadline is at least the Eq. (1) bound for the
+  /// registered population (a deadline below the structural bound is
+  /// unsatisfiable no matter how small the bursts).
+  bool feasible = false;
+  /// Per registered sender (same order as the input vector): maximum burst
+  /// size in whole packets (floor of the Eq. 2-3 budget; 0 = the deadline
+  /// only admits isolated packets).
+  std::vector<std::uint32_t> burst_packets;
+};
+
+/// Evaluates admission for `senders` at an output whose GL class has
+/// `params.buffer_flits`-deep buffers and packet lengths in
+/// [params.l_min, params.l_max]. `params.n_gl` is ignored (derived from
+/// senders.size()).
+[[nodiscard]] GlAdmissionResult admit_gl_senders(
+    std::vector<GlSender> senders, GlBoundParams params);
+
+}  // namespace ssq::qosmath

@@ -1,0 +1,43 @@
+#include "qosmath/gl_bound.hpp"
+
+#include "sim/contracts.hpp"
+
+namespace ssq::qosmath {
+
+double gl_wait_bound(const GlBoundParams& p) {
+  SSQ_EXPECT(p.l_max >= 1 && p.l_min >= 1 && p.l_min <= p.l_max);
+  SSQ_EXPECT(p.n_gl >= 1);
+  SSQ_EXPECT(p.buffer_flits >= 1);
+  const double b = static_cast<double>(p.buffer_flits);
+  return static_cast<double>(p.l_max) +
+         static_cast<double>(p.n_gl) *
+             (b + b / static_cast<double>(p.l_min));
+}
+
+std::vector<double> gl_burst_budget(const std::vector<double>& constraints,
+                                    std::uint32_t l_max) {
+  SSQ_EXPECT(!constraints.empty());
+  SSQ_EXPECT(l_max >= 1);
+  const auto n = static_cast<std::uint32_t>(constraints.size());
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    SSQ_EXPECT(constraints[i] > 0.0);
+    if (i > 0) SSQ_EXPECT(constraints[i] >= constraints[i - 1]);
+  }
+
+  const double lmax = static_cast<double>(l_max);
+  const double per_packet = lmax + 1.0;  // transmit + arbitration cycle
+
+  std::vector<double> sigma(constraints.size(), 0.0);
+  // Eq. (2).
+  sigma[0] = (constraints[0] - lmax) / (per_packet * static_cast<double>(n));
+  if (sigma[0] < 0.0) sigma[0] = 0.0;  // constraint tighter than one packet
+  // Eq. (3), with the competitor count floored at 1 for the loosest flow.
+  for (std::uint32_t k = 1; k < n; ++k) {
+    const std::uint32_t competitors = n - (k + 1) >= 1 ? n - (k + 1) : 1;
+    sigma[k] = sigma[k - 1] + (constraints[k] - constraints[k - 1]) /
+                                  (per_packet * static_cast<double>(competitors));
+  }
+  return sigma;
+}
+
+}  // namespace ssq::qosmath

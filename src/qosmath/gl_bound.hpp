@@ -1,0 +1,47 @@
+// Closed-form Guaranteed-Latency results (paper §3.4).
+//
+// Eq. (1): the maximum waiting time for a buffered GL packet at the switch,
+//
+//     τ_GL <= l_max + N_GL,o * (b + b / l_min)
+//
+// where l_max/l_min are the maximum/minimum packet lengths (flits), N_GL,o
+// is the number of inputs injecting GL traffic to output o, and b is the GL
+// buffer depth per input (flits). The three terms: channel release from a
+// packet already holding the channel, transmit latency of all buffered GL
+// flits, and one arbitration cycle per buffered GL packet.
+//
+// Eqs. (2)-(3): admissible burst sizes. Order the N_GL,o inputs by latency
+// constraint, tightest first: {L_1 <= L_2 <= ... <= L_N}. Then
+//
+//     σ_1 = (L_1 - l_max) / ((l_max + 1) * N_GL,o)
+//     σ_n = σ_{n-1} + (L_n - L_{n-1}) / ((l_max + 1) * (N_GL,o - n)),  n > 1
+//
+// packets per burst. For n == N_GL,o the paper's denominator degenerates to
+// zero (no looser flows remain to compete with); we floor the competitor
+// count at one, which is conservative. The gl_latency_bound bench validates
+// both results against the cycle-accurate simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ssq::qosmath {
+
+struct GlBoundParams {
+  std::uint32_t l_max = 1;       // longest packet, flits
+  std::uint32_t l_min = 1;       // shortest packet, flits
+  std::uint32_t n_gl = 1;        // inputs injecting GL to this output
+  std::uint32_t buffer_flits = 4;  // GL buffer depth b per input, flits
+};
+
+/// Eq. (1): worst-case wait (cycles) for a buffered GL packet.
+[[nodiscard]] double gl_wait_bound(const GlBoundParams& p);
+
+/// Eqs. (2)-(3): maximum burst sizes (packets), one per input, for inputs
+/// sorted by latency constraint ascending (tightest first). Values are
+/// real-valued; floor() them for integer packet budgets. Constraints must be
+/// positive and non-decreasing; `constraints.size()` is N_GL,o.
+[[nodiscard]] std::vector<double> gl_burst_budget(
+    const std::vector<double>& constraints, std::uint32_t l_max);
+
+}  // namespace ssq::qosmath

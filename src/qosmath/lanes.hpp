@@ -1,0 +1,58 @@
+// Lane-budget arithmetic (paper §4.4 "Scalability").
+//
+//     num_lanes = output_bus_width / radix
+//
+// Each lane needs one bitline per input (LRG arbitration), so supporting the
+// three QoS classes needs at least three lanes: >=1 GB thermometer lane, the
+// GL lane, and the BE lane. "For a radix-8, radix-16 and radix-32 switch, a
+// 128-bit bus is sufficient. For a radix-64 switch, a 256-bit bus is
+// required to support three QoS classes." The scheme does not scale past
+// radix 64 without composing switches.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/contracts.hpp"
+
+namespace ssq::qosmath {
+
+inline constexpr std::uint32_t kMaxRadix = 64;
+inline constexpr std::uint32_t kMinLanesForThreeClasses = 3;
+
+/// Lanes available on a bus. Truncates (a partial lane is unusable).
+[[nodiscard]] constexpr std::uint32_t num_lanes(std::uint32_t bus_width,
+                                                std::uint32_t radix) {
+  SSQ_EXPECT(radix >= 1);
+  return bus_width / radix;
+}
+
+/// True iff `bus_width` can host `classes` QoS classes at `radix`
+/// (1 lane minimum per class; GB accuracy grows with extra lanes, §4.4:
+/// "The accuracy of the SSVC technique increases with more lanes").
+[[nodiscard]] constexpr bool supports_classes(std::uint32_t bus_width,
+                                              std::uint32_t radix,
+                                              std::uint32_t classes) {
+  return num_lanes(bus_width, radix) >= classes;
+}
+
+/// Minimum bus width (bits) for `classes` classes at `radix`.
+[[nodiscard]] constexpr std::uint32_t min_bus_width(std::uint32_t radix,
+                                                    std::uint32_t classes) {
+  return radix * classes;
+}
+
+/// GB thermometer lanes left after reserving the GL and BE lanes, rounded
+/// down to a power of two (the level is taken from auxVC MSBs). Returns 0
+/// when the bus cannot host three classes.
+[[nodiscard]] constexpr std::uint32_t gb_lanes_available(
+    std::uint32_t bus_width, std::uint32_t radix, bool gl_lane, bool be_lane) {
+  const std::uint32_t lanes = num_lanes(bus_width, radix);
+  const std::uint32_t reserved = (gl_lane ? 1u : 0u) + (be_lane ? 1u : 0u);
+  if (lanes <= reserved) return 0;
+  std::uint32_t gb = lanes - reserved;
+  std::uint32_t pow2 = 1;
+  while (pow2 * 2 <= gb) pow2 *= 2;
+  return pow2;
+}
+
+}  // namespace ssq::qosmath

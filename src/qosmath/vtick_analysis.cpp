@@ -1,0 +1,38 @@
+#include "qosmath/vtick_analysis.hpp"
+
+#include <cmath>
+
+#include "sim/contracts.hpp"
+
+namespace ssq::qosmath {
+
+VtickError vtick_error(const core::SsvcParams& params, double rate,
+                       std::uint32_t packet_len) {
+  SSQ_EXPECT(rate > 0.0 && rate <= 1.0);
+  VtickError e;
+  e.ideal_vtick = core::ideal_vtick(rate, packet_len);
+  e.quantized = core::quantize_vtick(params, e.ideal_vtick);
+  // The reserved fraction maps to one (L+1)-cycle packet slot per Vtick.
+  e.effective_rate =
+      static_cast<double>(packet_len + 1) / static_cast<double>(e.quantized);
+  e.relative_error = std::abs(e.effective_rate - rate) / rate;
+  return e;
+}
+
+double max_vtick_error(const core::SsvcParams& params, double rate_lo,
+                       double rate_hi, std::uint32_t packet_len,
+                       std::uint32_t samples) {
+  SSQ_EXPECT(rate_lo > 0.0 && rate_lo <= rate_hi && rate_hi <= 1.0);
+  SSQ_EXPECT(samples >= 2);
+  double worst = 0.0;
+  const double ratio = rate_hi / rate_lo;
+  for (std::uint32_t s = 0; s < samples; ++s) {
+    const double t = static_cast<double>(s) / (samples - 1);
+    const double rate = rate_lo * std::pow(ratio, t);
+    const double err = vtick_error(params, rate, packet_len).relative_error;
+    if (err > worst) worst = err;
+  }
+  return worst;
+}
+
+}  // namespace ssq::qosmath

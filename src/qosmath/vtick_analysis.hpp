@@ -1,0 +1,35 @@
+// Vtick quantisation analysis.
+//
+// The hardware stores Vtick in a finite register (8 bits in Table 1, with an
+// optional power-of-two pre-scale in this implementation). A quantised Vtick
+// shifts the flow's effective reserved rate: effective_rate = L / Vtick_q.
+// The paper reports all counter-management schemes delivering bandwidth
+// "on average within 2 % of their reserved rates" — the quantisation error
+// bound below is the analytical part of that budget.
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+
+namespace ssq::qosmath {
+
+struct VtickError {
+  double ideal_vtick = 0.0;      // cycles
+  std::uint64_t quantized = 0;   // cycles, as represented by the register
+  double effective_rate = 0.0;   // L / quantized
+  double relative_error = 0.0;   // |effective - requested| / requested
+};
+
+/// Quantisation outcome for one reservation.
+[[nodiscard]] VtickError vtick_error(const core::SsvcParams& params,
+                                     double rate, std::uint32_t packet_len);
+
+/// Worst relative rate error over rates in [rate_lo, rate_hi] sampled at
+/// `samples` points (geometric spacing).
+[[nodiscard]] double max_vtick_error(const core::SsvcParams& params,
+                                     double rate_lo, double rate_hi,
+                                     std::uint32_t packet_len,
+                                     std::uint32_t samples = 256);
+
+}  // namespace ssq::qosmath

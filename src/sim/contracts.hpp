@@ -1,0 +1,33 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6/I.8): preconditions and invariants are always checked — a simulator
+// that silently continues after violating a hardware invariant produces
+// numbers that look plausible and are wrong, which is worse than aborting.
+//
+// SSQ_EXPECT  — precondition on function entry.
+// SSQ_ENSURE  — postcondition / invariant.
+// Both print file:line and the failed expression, then abort. They are cheap
+// (a predictable branch) and stay enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssq::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) noexcept {
+  std::fprintf(stderr, "ssq: %s failed: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace ssq::detail
+
+#define SSQ_EXPECT(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) ::ssq::detail::contract_failure("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define SSQ_ENSURE(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) ::ssq::detail::contract_failure("invariant", #cond, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,120 @@
+// Terminal line plots for the figure benches — the repo is terminal-first,
+// so Fig. 4/Fig. 5 can be *seen*, not just tabulated.
+//
+// Each series is a vector of y-values over a shared x index; points map
+// onto a character grid (one column per x step, multiple columns per step
+// when the grid is wider than the series). Overlapping points show the
+// later series' symbol. Supports log-y for Fig. 5's decade-spanning
+// latencies.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/contracts.hpp"
+
+namespace ssq::stats {
+
+class AsciiPlot {
+ public:
+  AsciiPlot(std::string title, std::size_t height = 16)
+      : title_(std::move(title)), height_(height) {
+    SSQ_EXPECT(height >= 4 && height <= 64);
+  }
+
+  /// Adds a series; all series must share the same length.
+  void add_series(std::string label, std::vector<double> y, char symbol) {
+    SSQ_EXPECT(!y.empty());
+    if (!series_.empty()) SSQ_EXPECT(y.size() == series_[0].y.size());
+    for (double v : y) SSQ_EXPECT(v == v);  // no NaNs
+    series_.push_back({std::move(label), std::move(y), symbol});
+  }
+
+  /// Labels printed under the left/right edges of the x axis.
+  void x_labels(std::string left, std::string right) {
+    x_left_ = std::move(left);
+    x_right_ = std::move(right);
+  }
+
+  void render(std::ostream& os, bool log_y = false) const {
+    SSQ_EXPECT(!series_.empty());
+    double lo = 1e300, hi = -1e300;
+    for (const auto& s : series_) {
+      for (double v : s.y) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (log_y) {
+      SSQ_EXPECT(lo > 0.0 && "log-y needs positive data");
+      lo = std::log10(lo);
+      hi = std::log10(hi);
+    }
+    if (hi <= lo) hi = lo + 1.0;
+
+    const std::size_t n = series_[0].y.size();
+    const std::size_t col_per_x = n >= 48 ? 1 : (48 / n);
+    const std::size_t width = n * col_per_x;
+    std::vector<std::string> grid(height_, std::string(width, ' '));
+
+    for (const auto& s : series_) {
+      for (std::size_t x = 0; x < n; ++x) {
+        double v = s.y[x];
+        if (log_y) v = std::log10(v);
+        const double t = (v - lo) / (hi - lo);
+        const auto row = static_cast<std::size_t>(
+            std::lround((1.0 - t) * static_cast<double>(height_ - 1)));
+        for (std::size_t c = 0; c < col_per_x; ++c) {
+          grid[row][x * col_per_x + c] = s.symbol;
+        }
+      }
+    }
+
+    auto y_label = [&](double frac) {
+      const double v = lo + (hi - lo) * frac;
+      const double shown = log_y ? std::pow(10.0, v) : v;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%8.1f", shown);
+      return std::string(buf);
+    };
+
+    os << "-- " << title_ << (log_y ? " (log y)" : "") << " --\n";
+    for (std::size_t r = 0; r < height_; ++r) {
+      const double frac =
+          1.0 - static_cast<double>(r) / static_cast<double>(height_ - 1);
+      const bool labelled = r == 0 || r == height_ - 1 || r == height_ / 2;
+      os << (labelled ? y_label(frac) : std::string(8, ' ')) << " |"
+         << grid[r] << "\n";
+    }
+    os << std::string(8, ' ') << " +" << std::string(width, '-') << "\n";
+    os << std::string(10, ' ') << x_left_
+       << std::string(width > x_left_.size() + x_right_.size()
+                          ? width - x_left_.size() - x_right_.size()
+                          : 1,
+                      ' ')
+       << x_right_ << "\n";
+    os << "   ";
+    for (const auto& s : series_) {
+      os << " [" << s.symbol << "] " << s.label;
+    }
+    os << "\n\n";
+  }
+
+ private:
+  struct Series {
+    std::string label;
+    std::vector<double> y;
+    char symbol;
+  };
+
+  std::string title_;
+  std::size_t height_;
+  std::vector<Series> series_;
+  std::string x_left_;
+  std::string x_right_;
+};
+
+}  // namespace ssq::stats

@@ -1,0 +1,91 @@
+// Fixed-width-bin histogram with overflow bin and percentile queries.
+//
+// Used for packet-latency distributions; bins hold cycle counts. Values are
+// non-negative (latencies, queue depths). The last bin is an unbounded
+// overflow bin so no sample is ever dropped; percentile queries fall back to
+// the recorded true maximum when they land in the overflow bin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/contracts.hpp"
+
+namespace ssq::stats {
+
+class Histogram {
+ public:
+  /// `bin_width` > 0; `num_bins` regular bins plus an implicit overflow bin.
+  Histogram(double bin_width, std::size_t num_bins)
+      : bin_width_(bin_width), bins_(num_bins + 1, 0) {
+    SSQ_EXPECT(bin_width > 0.0);
+    SSQ_EXPECT(num_bins > 0);
+  }
+
+  void add(double x) noexcept {
+    SSQ_EXPECT(x >= 0.0);
+    auto idx = static_cast<std::size_t>(x / bin_width_);
+    if (idx >= bins_.size() - 1) idx = bins_.size() - 1;  // overflow bin
+    ++bins_[idx];
+    ++total_;
+    if (x > max_seen_) max_seen_ = x;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t num_bins() const noexcept { return bins_.size() - 1; }
+  [[nodiscard]] double bin_width() const noexcept { return bin_width_; }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const {
+    SSQ_EXPECT(i < bins_.size());
+    return bins_[i];
+  }
+  [[nodiscard]] std::uint64_t overflow_count() const noexcept {
+    return bins_.back();
+  }
+  [[nodiscard]] double max_seen() const noexcept { return max_seen_; }
+
+  /// Value below which fraction `q` of samples fall (q in [0,1]).
+  /// Linear interpolation within the winning bin; returns the true maximum
+  /// for queries resolving inside the overflow bin. 0 when empty.
+  [[nodiscard]] double percentile(double q) const {
+    SSQ_EXPECT(q >= 0.0 && q <= 1.0);
+    if (total_ == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_) + 0.5);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i + 1 < bins_.size(); ++i) {
+      cum += bins_[i];
+      if (cum >= target) {
+        // Interpolate within bin i.
+        const auto in_bin = bins_[i];
+        const double frac =
+            in_bin == 0 ? 1.0
+                        : 1.0 - static_cast<double>(cum - target) /
+                                    static_cast<double>(in_bin);
+        return (static_cast<double>(i) + frac) * bin_width_;
+      }
+    }
+    return max_seen_;
+  }
+
+  void merge(const Histogram& other) {
+    SSQ_EXPECT(other.bin_width_ == bin_width_);
+    SSQ_EXPECT(other.bins_.size() == bins_.size());
+    for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+    total_ += other.total_;
+    if (other.max_seen_ > max_seen_) max_seen_ = other.max_seen_;
+  }
+
+  void reset() noexcept {
+    for (auto& b : bins_) b = 0;
+    total_ = 0;
+    max_seen_ = 0.0;
+  }
+
+ private:
+  double bin_width_;
+  std::vector<std::uint64_t> bins_;  // last element = overflow bin
+  std::uint64_t total_ = 0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace ssq::stats

@@ -1,0 +1,107 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/contracts.hpp"
+
+namespace ssq::stats {
+
+Table& Table::header(std::vector<std::string> names) {
+  SSQ_EXPECT(rows_.empty());
+  header_ = std::move(names);
+  return *this;
+}
+
+Table& Table::row() {
+  SSQ_EXPECT(!header_.empty());
+  rows_.emplace_back();
+  rows_.back().reserve(header_.size());
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  SSQ_EXPECT(!rows_.empty());
+  SSQ_EXPECT(rows_.back().size() < header_.size());
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+void Table::render_ascii(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << (c == 0 ? "" : " | ") << std::left << std::setw(static_cast<int>(widths[c])) << v;
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 3;
+  os << std::string(total > 3 ? total - 3 : total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  os << '\n';
+}
+
+namespace {
+void csv_cell(std::ostream& os, const std::string& v) {
+  if (v.find_first_of(",\"\n") == std::string::npos) {
+    os << v;
+    return;
+  }
+  os << '"';
+  for (char ch : v) {
+    if (ch == '"') os << '"';
+    os << ch;
+  }
+  os << '"';
+}
+}  // namespace
+
+void Table::render_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      csv_cell(os, cells[c]);
+    }
+    os << '\n';
+  };
+  if (!title_.empty()) os << "# " << title_ << '\n';
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+void Table::render(std::ostream& os, bool csv) const {
+  if (csv)
+    render_csv(os);
+  else
+    render_ascii(os);
+}
+
+bool want_csv(int argc, char** argv) noexcept {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--csv") == 0) return true;
+  return false;
+}
+
+}  // namespace ssq::stats

@@ -1,0 +1,79 @@
+// Windowed per-flow rate series — throughput as a function of time, for
+// convergence and transient analysis (e.g. how quickly SSVC re-apportions
+// bandwidth after a reserved flow joins).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/contracts.hpp"
+#include "sim/types.hpp"
+
+namespace ssq::stats {
+
+class RateSeries {
+ public:
+  /// `window_cycles` > 0: each series point is flits/cycle over one window.
+  RateSeries(std::size_t num_flows, Cycle window_cycles)
+      : window_(window_cycles), counts_(num_flows, 0) {
+    SSQ_EXPECT(window_cycles >= 1);
+    SSQ_EXPECT(num_flows >= 1);
+    series_.resize(num_flows);
+  }
+
+  /// Records one delivered flit. `now` must be non-decreasing.
+  void record_flit(std::size_t flow, Cycle now) {
+    SSQ_EXPECT(flow < counts_.size());
+    roll_to(now);
+    ++counts_[flow];
+  }
+
+  /// Closes any windows ending at or before `now` (call at the end of a run
+  /// so the final full window is flushed).
+  void roll_to(Cycle now) {
+    while (now >= window_start_ + window_) {
+      for (std::size_t f = 0; f < counts_.size(); ++f) {
+        series_[f].push_back(static_cast<double>(counts_[f]) /
+                             static_cast<double>(window_));
+        counts_[f] = 0;
+      }
+      window_start_ += window_;
+    }
+  }
+
+  [[nodiscard]] Cycle window_cycles() const noexcept { return window_; }
+  [[nodiscard]] std::size_t num_windows() const noexcept {
+    return series_.empty() ? 0 : series_[0].size();
+  }
+  [[nodiscard]] const std::vector<double>& series(std::size_t flow) const {
+    SSQ_EXPECT(flow < series_.size());
+    return series_[flow];
+  }
+
+  /// First window index at or after `from_window` where the flow's rate
+  /// stays within `tolerance` of `target` for `hold` consecutive windows;
+  /// returns num_windows() if never.
+  [[nodiscard]] std::size_t converged_at(std::size_t flow, double target,
+                                         double tolerance,
+                                         std::size_t from_window,
+                                         std::size_t hold = 3) const {
+    const auto& s = series(flow);
+    std::size_t run = 0;
+    for (std::size_t w = from_window; w < s.size(); ++w) {
+      if (s[w] >= target - tolerance && s[w] <= target + tolerance) {
+        if (++run >= hold) return w - hold + 1;
+      } else {
+        run = 0;
+      }
+    }
+    return s.size();
+  }
+
+ private:
+  Cycle window_;
+  Cycle window_start_ = 0;
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::vector<double>> series_;
+};
+
+}  // namespace ssq::stats

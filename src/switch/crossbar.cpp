@@ -1,0 +1,581 @@
+#include "switch/crossbar.hpp"
+
+#include "arb/pvc.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ssq::sw {
+
+CrossbarSwitch::CrossbarSwitch(const SwitchConfig& config,
+                               traffic::Workload workload)
+    : config_(config), workload_(std::move(workload)), rng_(config.seed) {
+  config_.validate();
+  SSQ_EXPECT(workload_.radix() == config_.radix);
+  workload_.validate();
+  if (config_.packet_chaining) {
+    SSQ_EXPECT(config_.mode == ArbitrationMode::SsvcQos &&
+               "packet chaining requires the QoS arbiters (baseline WRR/DWRR "
+               "cannot be charged without a pick)");
+  }
+
+  const std::uint32_t radix = config_.radix;
+  inputs_.reserve(radix);
+  for (InputId i = 0; i < radix; ++i) {
+    inputs_.emplace_back(i, radix, config_.buffers);
+  }
+  output_free_at_.assign(radix, 0);
+  transmissions_.resize(radix);
+  usage_.resize(radix);
+  preemptions_.assign(radix, 0);
+  if (config_.pvc.preemption) {
+    SSQ_EXPECT(config_.mode == ArbitrationMode::Baseline &&
+               config_.baseline == arb::Kind::Pvc &&
+               "PVC preemption requires the PVC baseline arbiter");
+  }
+
+  for (OutputId o = 0; o < radix; ++o) {
+    auto alloc = workload_.allocation_for(o);
+    if (config_.mode == ArbitrationMode::SsvcQos) {
+      qos_.push_back(std::make_unique<core::OutputQosArbiter>(
+          radix, config_.ssvc, std::move(alloc), config_.gl_policing,
+          config_.gl_allowance_packets));
+    } else {
+      // Rate-parameterised baselines receive the GB reservations; inputs
+      // with no reservation get a nominal unit share.
+      std::vector<double> rates(radix, 0.0);
+      bool any = false;
+      for (InputId i = 0; i < radix; ++i) {
+        rates[i] = alloc.gb_rate[i];
+        if (rates[i] > 0.0) any = true;
+      }
+      for (InputId i = 0; i < radix; ++i) {
+        if (rates[i] <= 0.0) rates[i] = any ? 1e-3 : 1.0;
+      }
+      baseline_.push_back(arb::make_arbiter(config_.baseline, radix, rates,
+                                            alloc.gb_packet_len));
+    }
+  }
+
+  input_flows_.resize(radix);
+  accept_ptr_.assign(radix, 0);
+  accept_out_ptr_.assign(radix, 0);
+  const auto& flows = workload_.flows();
+  injectors_.reserve(flows.size());
+  source_q_.resize(flows.size());
+  max_backlog_.assign(flows.size(), 0);
+  delivered_.assign(flows.size(), 0);
+  throughput_.resize(flows.size());
+  gsf_quota_.assign(flows.size(), 0);
+  gsf_used_.assign(flows.size(), 0);
+  for (FlowId f = 0; f < flows.size(); ++f) {
+    injectors_.emplace_back(flows[f], rng_.fork(f));
+    input_flows_[flows[f].src].push_back(f);
+    latency_.register_flow(flows[f].cls);
+    wait_.register_flow(flows[f].cls);
+    if (config_.gsf.enabled &&
+        flows[f].cls == TrafficClass::GuaranteedBandwidth) {
+      const double per_frame =
+          flows[f].reserved_rate *
+          static_cast<double>(config_.gsf.frame_cycles) /
+          static_cast<double>(flows[f].mean_len());
+      gsf_quota_[f] = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(per_frame));
+    }
+  }
+  throughput_.open_window(0);
+}
+
+const InputPort& CrossbarSwitch::input(InputId i) const {
+  SSQ_EXPECT(i < inputs_.size());
+  return inputs_[i];
+}
+
+core::OutputQosArbiter& CrossbarSwitch::qos_arbiter(OutputId o) {
+  SSQ_EXPECT(config_.mode == ArbitrationMode::SsvcQos);
+  SSQ_EXPECT(o < qos_.size());
+  return *qos_[o];
+}
+
+bool CrossbarSwitch::output_idle(OutputId o) const {
+  SSQ_EXPECT(o < output_free_at_.size());
+  return output_free_at_[o] <= now_;
+}
+
+CrossbarSwitch::ChannelUsage CrossbarSwitch::channel_usage(OutputId o) const {
+  SSQ_EXPECT(o < usage_.size());
+  return usage_[o];
+}
+
+std::uint64_t CrossbarSwitch::preemptions(OutputId o) const {
+  SSQ_EXPECT(o < preemptions_.size());
+  return preemptions_[o];
+}
+
+void CrossbarSwitch::preempt_scan() {
+  for (OutputId o = 0; o < config_.radix; ++o) {
+    auto& t = transmissions_[o];
+    if (!t.active || now_ >= t.last_flit) continue;
+    auto* pvc = dynamic_cast<arb::PvcArbiter*>(baseline_[o].get());
+    SSQ_ENSURE(pvc != nullptr);
+    // Best waiting challenger for this output.
+    std::uint32_t best_level = pvc->num_levels();
+    for (InputId i = 0; i < config_.radix; ++i) {
+      if (inputs_[i].busy(now_)) continue;
+      if (candidate_for(i, o) == nullptr) continue;
+      best_level = std::min(best_level, pvc->level(i, now_));
+    }
+    if (best_level + config_.pvc.preempt_margin >= t.granted_level) continue;
+
+    // Abort: the victim is dropped and retried from the source buffer; the
+    // flits already moved are waste. transfer() has already run this cycle,
+    // so flits for cycles first_flit..now_ inclusive are gone.
+    const auto transferred = static_cast<std::uint32_t>(
+        now_ >= t.first_flit ? now_ - t.first_flit + 1 : 0);
+    throughput_.unrecord_flits(t.pkt.flow, transferred);
+    if (measuring_) {
+      // Saturating: the grant may predate the measurement window.
+      const std::uint64_t untransferred = t.pkt.length - transferred;
+      usage_[o].transfer_cycles -=
+          std::min<std::uint64_t>(untransferred, usage_[o].transfer_cycles);
+    }
+    wasted_flits_ += transferred;
+    ++preemptions_[o];
+    const InputId src = t.pkt.src;
+    Packet victim = std::move(t.pkt);
+    victim.granted = kNoCycle;
+    if (inputs_[src].can_restore(victim.cls, victim.dst, transferred)) {
+      // Re-account the drained flits and retry from the buffer head.
+      inputs_[src].push_front(std::move(victim), transferred);
+    } else {
+      // Admission refilled the drained space: release what the victim still
+      // holds and retransmit from the source queue (its network-latency
+      // clock restarts at re-admission, as a true source retransmit would).
+      for (std::uint32_t k = transferred; k < victim.length; ++k) {
+        inputs_[src].drain_flit(victim.cls, victim.dst);
+      }
+      source_q_[victim.flow].push_front(std::move(victim));
+    }
+    inputs_[src].set_free_at(now_);
+    output_free_at_[o] = now_;
+    t.active = false;
+  }
+}
+
+std::uint64_t CrossbarSwitch::delivered_packets(FlowId f) const {
+  SSQ_EXPECT(f < delivered_.size());
+  return delivered_[f];
+}
+
+std::uint64_t CrossbarSwitch::created_packets(FlowId f) const {
+  SSQ_EXPECT(f < injectors_.size());
+  return injectors_[f].created();
+}
+
+std::size_t CrossbarSwitch::max_source_backlog(FlowId f) const {
+  SSQ_EXPECT(f < max_backlog_.size());
+  return max_backlog_[f];
+}
+
+void CrossbarSwitch::inject() {
+  // Packet creation into source queues.
+  for (FlowId f = 0; f < injectors_.size(); ++f) {
+    auto& inj = injectors_[f];
+    const std::uint32_t n = inj.packets_at(now_);
+    for (std::uint32_t k = 0; k < n; ++k) {
+      Packet p;
+      p.id = next_packet_id_++;
+      p.flow = f;
+      p.src = inj.spec().src;
+      p.dst = inj.spec().dst;
+      p.cls = inj.spec().cls;
+      p.length = inj.draw_length();
+      p.created = now_;
+      source_q_[f].push_back(std::move(p));
+    }
+    max_backlog_[f] = std::max(max_backlog_[f], source_q_[f].size());
+  }
+
+  // GSF frame bookkeeping: reset quotas at frame boundaries; injection of
+  // regulated flows pauses during the barrier window.
+  bool gsf_barrier = false;
+  if (config_.gsf.enabled) {
+    if (now_ - gsf_frame_start_ >= config_.gsf.frame_cycles) {
+      gsf_frame_start_ = now_;
+      for (auto& used : gsf_used_) used = 0;
+    }
+    gsf_barrier =
+        (now_ - gsf_frame_start_) < config_.gsf.barrier_cycles;
+  }
+
+  // Admission: at most one packet per input per cycle, round-robin over the
+  // input's flows.
+  for (InputId i = 0; i < inputs_.size(); ++i) {
+    const auto& flows = input_flows_[i];
+    if (flows.empty()) continue;
+    for (std::size_t k = 0; k < flows.size(); ++k) {
+      const std::size_t idx = (accept_ptr_[i] + k) % flows.size();
+      const FlowId f = flows[idx];
+      if (source_q_[f].empty()) continue;
+      if (gsf_quota_[f] > 0 &&
+          (gsf_barrier || gsf_used_[f] >= gsf_quota_[f])) {
+        continue;  // GSF: out of frame quota, or inside the barrier window
+      }
+      if (!inputs_[i].can_accept(source_q_[f].front())) continue;
+      inputs_[i].accept(std::move(source_q_[f].front()), now_);
+      source_q_[f].pop_front();
+      if (gsf_quota_[f] > 0) ++gsf_used_[f];
+      accept_ptr_[i] = (idx + 1) % flows.size();
+      break;
+    }
+  }
+}
+
+void CrossbarSwitch::transfer() {
+  for (OutputId o = 0; o < transmissions_.size(); ++o) {
+    auto& t = transmissions_[o];
+    if (!t.active || now_ < t.first_flit) continue;
+    SSQ_ENSURE(now_ <= t.last_flit);
+    throughput_.record_flit(t.pkt.flow, now_);
+    inputs_[t.pkt.src].drain_flit(t.pkt.cls, t.pkt.dst);
+    if (now_ == t.last_flit) complete(t, o);
+  }
+}
+
+void CrossbarSwitch::complete(Transmission& t, OutputId o) {
+  t.pkt.delivered = now_;
+  if (measuring_) {
+    const Cycle from =
+        config_.latency_from_creation ? t.pkt.created : t.pkt.buffered;
+    latency_.record(t.pkt.flow, static_cast<double>(t.pkt.delivered - from));
+    wait_.record(t.pkt.flow, static_cast<double>(t.pkt.granted - t.pkt.buffered));
+  }
+  ++delivered_[t.pkt.flow];
+
+  const InputId src = t.pkt.src;
+  const TrafficClass cls = t.pkt.cls;
+  t.active = false;
+
+  // Packet Chaining: the next packet of the same (input, queue, output) may
+  // seize the channel without a fresh arbitration cycle; the arbiter state
+  // is still charged for it. GL-awareness: chaining removes arbitration
+  // opportunities, which would break the Eq. (1) bound — so a chain is
+  // broken whenever any input holds a GL packet for this output.
+  if (config_.packet_chaining) {
+    for (InputId i = 0; i < config_.radix; ++i) {
+      if (const Packet* h = inputs_[i].gl_head();
+          h != nullptr && h->dst == o) {
+        return;  // yield the channel to a fresh (GL-winning) arbitration
+      }
+    }
+    const Packet* head = nullptr;
+    switch (cls) {
+      case TrafficClass::GuaranteedBandwidth:
+        head = inputs_[src].gb_head(o);
+        break;
+      case TrafficClass::BestEffort: {
+        const Packet* h = inputs_[src].be_head();
+        head = (h && h->dst == o) ? h : nullptr;
+        break;
+      }
+      case TrafficClass::GuaranteedLatency: {
+        const Packet* h = inputs_[src].gl_head();
+        head = (h && h->dst == o) ? h : nullptr;
+        break;
+      }
+    }
+    if (head != nullptr) {
+      qos_[o]->advance_to(now_);
+      // GL chaining is also policed: an over-budget GL class cannot chain.
+      if (cls != TrafficClass::GuaranteedLatency ||
+          qos_[o]->gl_tracker().eligible(now_)) {
+        Packet pkt = pop_for(src, cls, o);
+        pkt.granted = now_;
+        if (measuring_) usage_[o].transfer_cycles += pkt.length;  // no arb
+        qos_[o]->on_grant(src, cls, pkt.length, now_);
+        start_transmission(std::move(pkt), o, now_ + 1);
+        if (cls == TrafficClass::GuaranteedBandwidth) {
+          inputs_[src].advance_gb_pointer(o);
+        }
+      }
+    }
+  }
+}
+
+Packet CrossbarSwitch::pop_for(InputId i, TrafficClass cls, OutputId o) {
+  switch (cls) {
+    case TrafficClass::BestEffort: {
+      Packet p = inputs_[i].pop_be();
+      SSQ_ENSURE(p.dst == o);
+      return p;
+    }
+    case TrafficClass::GuaranteedBandwidth:
+      return inputs_[i].pop_gb(o);
+    case TrafficClass::GuaranteedLatency: {
+      Packet p = inputs_[i].pop_gl();
+      SSQ_ENSURE(p.dst == o);
+      return p;
+    }
+  }
+  SSQ_EXPECT(false);
+  return Packet{};
+}
+
+void CrossbarSwitch::start_transmission(Packet&& pkt, OutputId o,
+                                        Cycle first_flit) {
+  auto& t = transmissions_[o];
+  SSQ_EXPECT(!t.active);
+  const Cycle last = first_flit + pkt.length - 1;
+  inputs_[pkt.src].set_free_at(last + 1);
+  output_free_at_[o] = last + 1;
+  t.pkt = std::move(pkt);
+  t.first_flit = first_flit;
+  t.last_flit = last;
+  t.active = true;
+}
+
+void CrossbarSwitch::select_requests(
+    std::vector<PendingRequest>& pending) const {
+  pending.assign(inputs_.size(), PendingRequest{});
+  for (InputId i = 0; i < inputs_.size(); ++i) {
+    const auto& port = inputs_[i];
+    if (port.busy(now_)) continue;
+
+    const auto prio_of = [this](const Packet& p) {
+      return workload_.flow(p.flow).legacy_priority;
+    };
+    // 1) GL head, if its channel can arbitrate this cycle.
+    if (const Packet* h = port.gl_head();
+        h != nullptr && output_idle(h->dst)) {
+      pending[i] = {h->dst, h->cls, h->length, h->buffered, prio_of(*h)};
+      continue;
+    }
+    // 2) GB heads, rotating over outputs for per-port fairness.
+    bool chosen = false;
+    for (std::uint32_t off = 0; off < config_.radix && !chosen; ++off) {
+      const OutputId o = (port.gb_pointer() + off) % config_.radix;
+      if (const Packet* h = port.gb_head(o); h != nullptr && output_idle(o)) {
+        pending[i] = {o, h->cls, h->length, h->buffered, prio_of(*h)};
+        chosen = true;
+      }
+    }
+    if (chosen) continue;
+    // 3) BE head.
+    if (const Packet* h = port.be_head();
+        h != nullptr && output_idle(h->dst)) {
+      pending[i] = {h->dst, h->cls, h->length, h->buffered, prio_of(*h)};
+    }
+  }
+}
+
+void CrossbarSwitch::arbitrate() {
+  std::vector<PendingRequest> pending;
+  select_requests(pending);
+
+  std::vector<core::ClassRequest> qos_reqs;
+  std::vector<arb::Request> base_reqs;
+  for (OutputId o = 0; o < config_.radix; ++o) {
+    if (!output_idle(o)) continue;
+
+    InputId winner = kNoPort;
+    TrafficClass win_cls = TrafficClass::BestEffort;
+    if (config_.mode == ArbitrationMode::SsvcQos) {
+      qos_reqs.clear();
+      for (InputId i = 0; i < config_.radix; ++i) {
+        if (pending[i].out == o) {
+          qos_reqs.push_back({i, pending[i].cls, pending[i].length});
+        }
+      }
+      if (qos_reqs.empty()) continue;
+      auto& arbiter = *qos_[o];
+      arbiter.advance_to(now_);
+      winner = arbiter.pick(qos_reqs, now_);
+      if (winner == kNoPort) continue;  // stalled GL only
+      win_cls = arbiter.picked_class();
+      SSQ_ENSURE(win_cls == pending[winner].cls);
+      arbiter.on_grant(winner, win_cls, pending[winner].length, now_);
+    } else {
+      base_reqs.clear();
+      for (InputId i = 0; i < config_.radix; ++i) {
+        if (pending[i].out == o) {
+          base_reqs.push_back({i, pending[i].length, pending[i].buffered,
+                               pending[i].prio});
+        }
+      }
+      auto& arbiter = *baseline_[o];
+      if (base_reqs.empty()) {
+        arbiter.on_idle(now_);
+        continue;
+      }
+      winner = arbiter.pick(base_reqs, now_);
+      if (winner == kNoPort) {  // TDM: the slot owner is idle — wasted slot
+        arbiter.on_idle(now_);
+        continue;
+      }
+      win_cls = pending[winner].cls;
+      if (auto* pvc = dynamic_cast<arb::PvcArbiter*>(&arbiter)) {
+        transmissions_[o].granted_level = pvc->level(winner, now_);
+      }
+      arbiter.on_grant(winner, pending[winner].length, now_);
+    }
+
+    commit_grant(winner, o, win_cls);
+  }
+}
+
+void CrossbarSwitch::commit_grant(InputId winner, OutputId o,
+                                  TrafficClass cls) {
+  Packet pkt = pop_for(winner, cls, o);
+  pkt.granted = now_;
+  if (measuring_) {
+    usage_[o].arbitration_cycles += config_.arbitration_cycles;
+    usage_[o].transfer_cycles += pkt.length;
+  }
+  // Arbitration occupies arbitration_cycles (1 for SSVC, 2 for the legacy
+  // 4-level design [14]); flits flow once it completes.
+  start_transmission(std::move(pkt), o, now_ + config_.arbitration_cycles);
+  if (cls == TrafficClass::GuaranteedBandwidth) {
+    inputs_[winner].advance_gb_pointer(o);
+  }
+}
+
+const Packet* CrossbarSwitch::candidate_for(InputId i, OutputId o) const {
+  const auto& port = inputs_[i];
+  if (const Packet* h = port.gl_head(); h != nullptr && h->dst == o) return h;
+  if (const Packet* h = port.gb_head(o); h != nullptr) return h;
+  if (const Packet* h = port.be_head(); h != nullptr && h->dst == o) return h;
+  return nullptr;
+}
+
+void CrossbarSwitch::arbitrate_matched() {
+  // iSLIP-style request/grant/accept over the idle ports. Every iteration:
+  // each unmatched idle output runs its (QoS or baseline) arbitration over
+  // the unmatched idle inputs that have a ready head for it (the GRANT
+  // step); each input then ACCEPTS at most one grant — highest class first,
+  // then a rotating pointer over outputs — and the pair is committed
+  // immediately, so later iterations arbitrate against updated state.
+  const std::uint32_t radix = config_.radix;
+  std::vector<bool> in_matched(radix, false);
+  std::vector<bool> out_done(radix, false);
+  for (OutputId o = 0; o < radix; ++o) {
+    if (!output_idle(o)) out_done[o] = true;
+  }
+  for (InputId i = 0; i < radix; ++i) {
+    if (inputs_[i].busy(now_)) in_matched[i] = true;
+  }
+
+  std::vector<core::ClassRequest> qos_reqs;
+  std::vector<arb::Request> base_reqs;
+  for (std::uint32_t iter = 0; iter < config_.match_iterations; ++iter) {
+    // GRANT step: every live output picks a winner among current requesters.
+    std::vector<InputId> grant_to(radix, kNoPort);     // per output
+    std::vector<TrafficClass> grant_cls(radix, TrafficClass::BestEffort);
+    bool any_grant = false;
+    for (OutputId o = 0; o < radix; ++o) {
+      if (out_done[o]) continue;
+      qos_reqs.clear();
+      base_reqs.clear();
+      for (InputId i = 0; i < radix; ++i) {
+        if (in_matched[i]) continue;
+        const Packet* h = candidate_for(i, o);
+        if (h == nullptr) continue;
+        if (config_.mode == ArbitrationMode::SsvcQos) {
+          qos_reqs.push_back({i, h->cls, h->length});
+        } else {
+          base_reqs.push_back({i, h->length, h->buffered,
+                               workload_.flow(h->flow).legacy_priority});
+        }
+      }
+      InputId w = kNoPort;
+      if (config_.mode == ArbitrationMode::SsvcQos) {
+        if (qos_reqs.empty()) continue;
+        auto& arbiter = *qos_[o];
+        arbiter.advance_to(now_);
+        w = arbiter.pick(qos_reqs, now_);
+        if (w == kNoPort) {  // stalled GL only
+          out_done[o] = true;
+          continue;
+        }
+        grant_cls[o] = arbiter.picked_class();
+      } else {
+        if (base_reqs.empty()) continue;
+        w = baseline_[o]->pick(base_reqs, now_);
+        if (w == kNoPort) continue;  // TDM off-slot
+        const Packet* h = candidate_for(w, o);
+        SSQ_ENSURE(h != nullptr);
+        grant_cls[o] = h->cls;
+      }
+      grant_to[o] = w;
+      any_grant = true;
+    }
+    if (!any_grant) break;
+
+    // ACCEPT step: each input takes its best grant.
+    for (InputId i = 0; i < radix; ++i) {
+      if (in_matched[i]) continue;
+      OutputId best = kNoPort;
+      for (std::uint32_t off = 0; off < radix; ++off) {
+        const OutputId o = (accept_out_ptr_[i] + off) % radix;
+        if (grant_to[o] != i) continue;
+        if (best == kNoPort ||
+            higher_priority(grant_cls[o], grant_cls[best])) {
+          best = o;
+        }
+      }
+      if (best == kNoPort) continue;
+
+      const TrafficClass cls = grant_cls[best];
+      const Packet* h = candidate_for(i, best);
+      SSQ_ENSURE(h != nullptr && h->cls == cls);
+      const std::uint32_t length = h->length;
+      if (config_.mode == ArbitrationMode::SsvcQos) {
+        qos_[best]->on_grant(i, cls, length, now_);
+      } else {
+        // Restage the staged baselines (WRR/DWRR) on the accepted pair.
+        std::vector<arb::Request> only = {
+            {i, length, h->buffered,
+             workload_.flow(h->flow).legacy_priority}};
+        const InputId confirm = baseline_[best]->pick(only, now_);
+        SSQ_ENSURE(confirm == i);
+        baseline_[best]->on_grant(i, length, now_);
+      }
+      commit_grant(i, best, cls);
+      in_matched[i] = true;
+      out_done[best] = true;
+      accept_out_ptr_[i] = (best + 1) % radix;
+    }
+  }
+}
+
+void CrossbarSwitch::step() {
+  inject();
+  transfer();
+  if (config_.pvc.preemption) preempt_scan();
+  if (config_.allocation == AllocationMode::IterativeMatching) {
+    arbitrate_matched();
+  } else {
+    arbitrate();
+  }
+  ++now_;
+}
+
+void CrossbarSwitch::run(Cycle cycles) {
+  for (Cycle c = 0; c < cycles; ++c) step();
+}
+
+void CrossbarSwitch::warmup(Cycle cycles) {
+  run(cycles);
+  latency_.reset();
+  wait_.reset();
+  for (auto& u : usage_) u = ChannelUsage{};
+  throughput_.open_window(now_);
+  measuring_ = true;
+}
+
+void CrossbarSwitch::measure(Cycle cycles) {
+  run(cycles);
+  throughput_.close_window(now_);
+  measuring_ = false;
+}
+
+}  // namespace ssq::sw

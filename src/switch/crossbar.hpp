@@ -1,0 +1,177 @@
+// The cycle-accurate single-crossbar Swizzle Switch model.
+//
+// Machine model (one cycle):
+//   1. inject  — flow injectors create packets into unbounded source queues;
+//                each input port admits at most one packet per cycle into
+//                its (finite) class buffers.
+//   2. transfer — every active transmission moves one flit across its output
+//                channel; buffer space drains; completing packets are
+//                recorded.
+//   3. arbitrate — each idle input asserts at most ONE request (its bus
+//                carries one flit/cycle): GL head first, then GB heads by a
+//                rotating output pointer, then BE, restricted to idle output
+//                channels. Each idle output runs one single-cycle
+//                arbitration (three-class SSVC, or a class-blind baseline
+//                arbiter) and the winner's packet seizes the channel for
+//                1 arbitration cycle + `length` transfer cycles.
+//
+// The 1-cycle arbitration occupancy is intrinsic: the Swizzle Switch
+// repurposes the output data bus for arbitration, so a channel cannot
+// arbitrate and transfer simultaneously — this is what caps Fig. 4 at
+// 8/(8+1) ≈ 0.89 flits/cycle for 8-flit packets, and what the optional
+// Packet Chaining extension recovers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "arb/arbiter.hpp"
+#include "core/output_arbiter.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+#include "stats/latency.hpp"
+#include "stats/throughput.hpp"
+#include "switch/config.hpp"
+#include "switch/input_port.hpp"
+#include "switch/packet.hpp"
+#include "traffic/injector.hpp"
+#include "traffic/workload.hpp"
+
+namespace ssq::sw {
+
+class CrossbarSwitch {
+ public:
+  CrossbarSwitch(const SwitchConfig& config, traffic::Workload workload);
+
+  /// Advances one cycle.
+  void step();
+
+  /// Advances `cycles` cycles.
+  void run(Cycle cycles);
+
+  /// run() then reset stats and open the measurement window — call once
+  /// after the warmup phase.
+  void warmup(Cycle cycles);
+
+  /// run() then close the measurement window.
+  void measure(Cycle cycles);
+
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+  [[nodiscard]] const SwitchConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const traffic::Workload& workload() const noexcept {
+    return workload_;
+  }
+
+  // ---- statistics (valid after measure()) ----
+  /// Packet latency: delivery − input-buffer entry (or − creation when
+  /// config.latency_from_creation).
+  [[nodiscard]] const stats::LatencyRecorder& latency() const noexcept {
+    return latency_;
+  }
+  /// Arbitration waiting time: grant − input-buffer entry. The quantity
+  /// bounded by Eq. (1) for GL packets.
+  [[nodiscard]] const stats::LatencyRecorder& wait() const noexcept {
+    return wait_;
+  }
+  [[nodiscard]] const stats::ThroughputMeter& throughput() const noexcept {
+    return throughput_;
+  }
+  [[nodiscard]] std::uint64_t delivered_packets(FlowId f) const;
+  [[nodiscard]] std::uint64_t created_packets(FlowId f) const;
+  /// Deepest source-queue backlog seen (packets) — a saturation indicator.
+  [[nodiscard]] std::size_t max_source_backlog(FlowId f) const;
+
+  /// Per-output channel occupancy inside the measurement window.
+  struct ChannelUsage {
+    std::uint64_t arbitration_cycles = 0;
+    std::uint64_t transfer_cycles = 0;
+  };
+  [[nodiscard]] ChannelUsage channel_usage(OutputId o) const;
+
+  /// PVC-mode statistics (0 unless pvc.preemption).
+  [[nodiscard]] std::uint64_t preemptions(OutputId o) const;
+  [[nodiscard]] std::uint64_t wasted_flits() const noexcept {
+    return wasted_flits_;
+  }
+
+  // ---- introspection ----
+  [[nodiscard]] const InputPort& input(InputId i) const;
+  [[nodiscard]] core::OutputQosArbiter& qos_arbiter(OutputId o);
+  [[nodiscard]] bool output_idle(OutputId o) const;
+
+ private:
+  struct Transmission {
+    Packet pkt;
+    Cycle first_flit = 0;
+    Cycle last_flit = 0;
+    bool active = false;
+    std::uint32_t granted_level = 0;  // PVC level at grant time
+  };
+
+  struct PendingRequest {
+    OutputId out = kNoPort;
+    TrafficClass cls = TrafficClass::BestEffort;
+    std::uint32_t length = 0;
+    Cycle buffered = 0;
+    std::uint32_t prio = 0;  // legacy 4-level message priority
+  };
+
+  void inject();
+  void transfer();
+  void select_requests(std::vector<PendingRequest>& pending) const;
+  void arbitrate();
+  void arbitrate_matched();
+  void preempt_scan();
+  /// Pops the winner's packet, charges usage, seizes the channel.
+  void commit_grant(InputId winner, OutputId o, TrafficClass cls);
+  /// Highest-priority ready head of input i for output o, or nullptr.
+  [[nodiscard]] const Packet* candidate_for(InputId i, OutputId o) const;
+  void start_transmission(Packet&& pkt, OutputId o, Cycle first_flit);
+  void complete(Transmission& t, OutputId o);
+  Packet pop_for(InputId i, TrafficClass cls, OutputId o);
+
+  SwitchConfig config_;
+  traffic::Workload workload_;
+  Rng rng_;
+  Cycle now_ = 0;
+  PacketId next_packet_id_ = 0;
+
+  std::vector<InputPort> inputs_;
+  std::vector<Cycle> output_free_at_;
+  std::vector<Transmission> transmissions_;  // per output
+
+  // QoS or baseline arbitration state, one per output.
+  std::vector<std::unique_ptr<core::OutputQosArbiter>> qos_;
+  std::vector<std::unique_ptr<arb::Arbiter>> baseline_;
+
+  // Traffic plumbing, indexed by FlowId.
+  std::vector<traffic::Injector> injectors_;
+  std::vector<std::deque<Packet>> source_q_;
+  std::vector<std::size_t> max_backlog_;
+  std::vector<std::uint64_t> delivered_;
+  // Per-input list of its flows + acceptance round-robin pointer.
+  std::vector<std::vector<FlowId>> input_flows_;
+  std::vector<std::size_t> accept_ptr_;
+  // GSF source regulation: per-flow packet quota per frame and usage in the
+  // current frame; frame boundary bookkeeping.
+  std::vector<std::uint32_t> gsf_quota_;   // 0 = unregulated (BE/GL)
+  std::vector<std::uint32_t> gsf_used_;
+  Cycle gsf_frame_start_ = 0;
+  // IterativeMatching: per-input rotating accept pointer over outputs.
+  std::vector<OutputId> accept_out_ptr_;
+  // (src, dst, cls-bucket) -> FlowId for attributing granted packets.
+  // GB flows are crosspoint-exclusive; BE/GL may multiplex per input.
+
+  stats::LatencyRecorder latency_;
+  stats::LatencyRecorder wait_;
+  stats::ThroughputMeter throughput_;
+  std::vector<ChannelUsage> usage_;  // per output, measurement window only
+  std::vector<std::uint64_t> preemptions_;  // per output (PVC mode)
+  std::uint64_t wasted_flits_ = 0;
+  bool measuring_ = true;
+};
+
+}  // namespace ssq::sw

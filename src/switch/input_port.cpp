@@ -1,0 +1,145 @@
+#include "switch/input_port.hpp"
+
+#include <utility>
+
+namespace ssq::sw {
+
+InputPort::InputPort(InputId id, std::uint32_t radix,
+                     const BufferConfig& buffers)
+    : id_(id), radix_(radix), buffers_(buffers) {
+  buffers_.validate();
+  gb_q_.resize(radix);
+  gb_occ_.assign(radix, 0);
+}
+
+bool InputPort::can_accept(const Packet& pkt) const {
+  switch (pkt.cls) {
+    case TrafficClass::BestEffort:
+      return be_occ_ + pkt.length <= buffers_.be_flits;
+    case TrafficClass::GuaranteedBandwidth:
+      SSQ_EXPECT(pkt.dst < radix_);
+      return gb_occ_[pkt.dst] + pkt.length <= buffers_.gb_flits_per_output;
+    case TrafficClass::GuaranteedLatency:
+      return gl_occ_ + pkt.length <= buffers_.gl_flits;
+  }
+  return false;
+}
+
+void InputPort::accept(Packet&& pkt, Cycle now) {
+  SSQ_EXPECT(pkt.src == id_);
+  SSQ_EXPECT(can_accept(pkt));
+  pkt.buffered = now;
+  switch (pkt.cls) {
+    case TrafficClass::BestEffort:
+      be_occ_ += pkt.length;
+      be_q_.push_back(std::move(pkt));
+      break;
+    case TrafficClass::GuaranteedBandwidth:
+      gb_occ_[pkt.dst] += pkt.length;
+      gb_q_[pkt.dst].push_back(std::move(pkt));
+      break;
+    case TrafficClass::GuaranteedLatency:
+      gl_occ_ += pkt.length;
+      gl_q_.push_back(std::move(pkt));
+      break;
+  }
+}
+
+const Packet* InputPort::be_head() const {
+  return be_q_.empty() ? nullptr : &be_q_.front();
+}
+
+const Packet* InputPort::gb_head(OutputId dst) const {
+  SSQ_EXPECT(dst < radix_);
+  return gb_q_[dst].empty() ? nullptr : &gb_q_[dst].front();
+}
+
+const Packet* InputPort::gl_head() const {
+  return gl_q_.empty() ? nullptr : &gl_q_.front();
+}
+
+Packet InputPort::pop_be() {
+  SSQ_EXPECT(!be_q_.empty());
+  Packet p = std::move(be_q_.front());
+  be_q_.pop_front();
+  return p;
+}
+
+Packet InputPort::pop_gb(OutputId dst) {
+  SSQ_EXPECT(dst < radix_);
+  SSQ_EXPECT(!gb_q_[dst].empty());
+  Packet p = std::move(gb_q_[dst].front());
+  gb_q_[dst].pop_front();
+  return p;
+}
+
+Packet InputPort::pop_gl() {
+  SSQ_EXPECT(!gl_q_.empty());
+  Packet p = std::move(gl_q_.front());
+  gl_q_.pop_front();
+  return p;
+}
+
+void InputPort::drain_flit(TrafficClass cls, OutputId dst) {
+  switch (cls) {
+    case TrafficClass::BestEffort:
+      SSQ_EXPECT(be_occ_ >= 1);
+      --be_occ_;
+      break;
+    case TrafficClass::GuaranteedBandwidth:
+      SSQ_EXPECT(dst < radix_);
+      SSQ_EXPECT(gb_occ_[dst] >= 1);
+      --gb_occ_[dst];
+      break;
+    case TrafficClass::GuaranteedLatency:
+      SSQ_EXPECT(gl_occ_ >= 1);
+      --gl_occ_;
+      break;
+  }
+}
+
+bool InputPort::can_restore(TrafficClass cls, OutputId dst,
+                            std::uint32_t flits) const {
+  switch (cls) {
+    case TrafficClass::BestEffort:
+      return be_occ_ + flits <= buffers_.be_flits;
+    case TrafficClass::GuaranteedBandwidth:
+      SSQ_EXPECT(dst < radix_);
+      return gb_occ_[dst] + flits <= buffers_.gb_flits_per_output;
+    case TrafficClass::GuaranteedLatency:
+      return gl_occ_ + flits <= buffers_.gl_flits;
+  }
+  return false;
+}
+
+void InputPort::push_front(Packet&& pkt, std::uint32_t drained_flits) {
+  SSQ_EXPECT(pkt.src == id_);
+  switch (pkt.cls) {
+    case TrafficClass::BestEffort:
+      SSQ_EXPECT(be_occ_ + drained_flits <= buffers_.be_flits);
+      be_occ_ += drained_flits;
+      be_q_.push_front(std::move(pkt));
+      break;
+    case TrafficClass::GuaranteedBandwidth: {
+      const OutputId dst = pkt.dst;
+      SSQ_EXPECT(dst < radix_);
+      SSQ_EXPECT(gb_occ_[dst] + drained_flits <=
+                 buffers_.gb_flits_per_output);
+      gb_occ_[dst] += drained_flits;
+      gb_q_[dst].push_front(std::move(pkt));
+      break;
+    }
+    case TrafficClass::GuaranteedLatency:
+      SSQ_EXPECT(gl_occ_ + drained_flits <= buffers_.gl_flits);
+      gl_occ_ += drained_flits;
+      gl_q_.push_front(std::move(pkt));
+      break;
+  }
+}
+
+std::uint32_t InputPort::gb_occupancy(OutputId dst) const {
+  SSQ_EXPECT(dst < radix_);
+  return gb_occ_[dst];
+}
+
+}  // namespace ssq::sw

@@ -1,0 +1,96 @@
+// Input port: per-class buffering and the single-transmitter constraint.
+//
+// Buffer layout follows Table 1: one FIFO for BE, one FIFO per output for GB
+// (the crosspoint queue — this is what keeps GB flows separated, §4.4 notes
+// that losing this separation is what makes multi-switch QoS hard), and one
+// FIFO for GL ("At the input ports, GL class packets should be buffered
+// separately from GB class packets", §3.2).
+//
+// Occupancy is accounted in flits: a packet needs `length` free flits to be
+// accepted and its flits drain one per transfer cycle while it transmits,
+// so buffer space frees exactly as the wires would.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/contracts.hpp"
+#include "sim/types.hpp"
+#include "switch/config.hpp"
+#include "switch/packet.hpp"
+
+namespace ssq::sw {
+
+class InputPort {
+ public:
+  InputPort(InputId id, std::uint32_t radix, const BufferConfig& buffers);
+
+  [[nodiscard]] InputId id() const noexcept { return id_; }
+
+  /// True iff the packet's class buffer has `length` free flits.
+  [[nodiscard]] bool can_accept(const Packet& pkt) const;
+
+  /// Moves a packet into its class buffer; stamps `buffered = now`.
+  void accept(Packet&& pkt, Cycle now);
+
+  // Head-of-line visibility (nullptr when empty).
+  [[nodiscard]] const Packet* be_head() const;
+  [[nodiscard]] const Packet* gb_head(OutputId dst) const;
+  [[nodiscard]] const Packet* gl_head() const;
+
+  /// Pops the head of the given queue. The packet's flits remain accounted
+  /// in the buffer until drained via drain_flit.
+  Packet pop_be();
+  Packet pop_gb(OutputId dst);
+  Packet pop_gl();
+
+  /// Releases one flit of buffer space (called once per transfer cycle of a
+  /// packet popped from the corresponding queue).
+  void drain_flit(TrafficClass cls, OutputId dst);
+
+  /// True iff `flits` more flits fit in the class buffer (PVC preemption:
+  /// can the victim's drained flits be re-accounted in place?).
+  [[nodiscard]] bool can_restore(TrafficClass cls, OutputId dst,
+                                 std::uint32_t flits) const;
+
+  /// Returns a previously popped packet to the FRONT of its queue and
+  /// re-accounts `drained_flits` of buffer space (PVC preemption: the
+  /// victim is retransmitted from the source buffer). Requires can_restore.
+  void push_front(Packet&& pkt, std::uint32_t drained_flits);
+
+  // Single-transmitter constraint: the input bus carries one flit/cycle.
+  // `free_at` is the first cycle the port may request again.
+  [[nodiscard]] bool busy(Cycle now) const noexcept { return now < free_at_; }
+  void set_free_at(Cycle c) noexcept { free_at_ = c; }
+
+  // Occupancy introspection (flits currently held, queued or in flight).
+  [[nodiscard]] std::uint32_t be_occupancy() const noexcept { return be_occ_; }
+  [[nodiscard]] std::uint32_t gb_occupancy(OutputId dst) const;
+  [[nodiscard]] std::uint32_t gl_occupancy() const noexcept { return gl_occ_; }
+
+  /// Rotating preference pointer over GB output queues (used by the request
+  /// selection policy; the port owns it so fairness is per-port).
+  [[nodiscard]] OutputId gb_pointer() const noexcept { return gb_ptr_; }
+  void advance_gb_pointer(OutputId granted) noexcept {
+    gb_ptr_ = (granted + 1) % radix_;
+  }
+
+ private:
+  InputId id_;
+  std::uint32_t radix_;
+  BufferConfig buffers_;
+
+  std::deque<Packet> be_q_;
+  std::vector<std::deque<Packet>> gb_q_;  // per output
+  std::deque<Packet> gl_q_;
+
+  std::uint32_t be_occ_ = 0;
+  std::vector<std::uint32_t> gb_occ_;
+  std::uint32_t gl_occ_ = 0;
+
+  Cycle free_at_ = 0;
+  OutputId gb_ptr_ = 0;
+};
+
+}  // namespace ssq::sw

@@ -1,0 +1,35 @@
+// Packet — the unit of arbitration and accounting.
+//
+// Transfers are flit-granular (one flit per cycle per channel) but grants
+// are packet-granular and non-preemptive: a granted packet holds its output
+// channel for one arbitration cycle plus `length` transfer cycles, which is
+// why an 8-flit-packet workload tops out at 8/9 ≈ 0.89 flits/cycle (the
+// "throughput loss from the Swizzle Switch's arbitration cycle" the paper
+// notes under Fig. 4).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace ssq::sw {
+
+struct Packet {
+  PacketId id = 0;
+  FlowId flow = 0;
+  InputId src = 0;
+  OutputId dst = 0;
+  TrafficClass cls = TrafficClass::BestEffort;
+  std::uint32_t length = 1;  // flits
+
+  /// Cycle the source created the packet (enqueued in the source queue).
+  Cycle created = 0;
+  /// Cycle the packet entered the switch input buffer.
+  Cycle buffered = kNoCycle;
+  /// Cycle the packet won output arbitration.
+  Cycle granted = kNoCycle;
+  /// Cycle the last flit left the output channel.
+  Cycle delivered = kNoCycle;
+};
+
+}  // namespace ssq::sw

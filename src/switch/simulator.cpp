@@ -1,0 +1,60 @@
+#include "switch/simulator.hpp"
+
+namespace ssq::sw {
+
+ExperimentResult summarize(const CrossbarSwitch& sw) {
+  ExperimentResult result;
+  result.measured_cycles = sw.throughput().window_cycles();
+  const auto& flows = sw.workload().flows();
+  result.flows.reserve(flows.size());
+  for (FlowId f = 0; f < flows.size(); ++f) {
+    FlowSummary s;
+    s.flow = f;
+    s.src = flows[f].src;
+    s.dst = flows[f].dst;
+    s.cls = flows[f].cls;
+    s.reserved_rate = flows[f].reserved_rate;
+    s.accepted_rate = sw.throughput().rate(f);
+    const auto& lat = sw.latency().flow_summary(f);
+    s.mean_latency = lat.mean();
+    s.p95_latency = sw.latency().flow_histogram(f).percentile(0.95);
+    s.max_latency = lat.count() ? lat.max() : 0.0;
+    const auto& wt = sw.wait().flow_summary(f);
+    s.mean_wait = wt.mean();
+    s.max_wait = wt.count() ? wt.max() : 0.0;
+    s.delivered_packets = sw.delivered_packets(f);
+    result.total_accepted_rate += s.accepted_rate;
+    result.flows.push_back(s);
+  }
+  return result;
+}
+
+ExperimentResult run_experiment(const SwitchConfig& config,
+                                traffic::Workload workload,
+                                Cycle warmup_cycles, Cycle measure_cycles) {
+  SSQ_EXPECT(measure_cycles >= 1);
+  CrossbarSwitch sw(config, std::move(workload));
+
+  // Offered rate needs created-packet counts inside the window; snapshot at
+  // the window edges.
+  sw.warmup(warmup_cycles);
+  std::vector<std::uint64_t> created_at_open;
+  const std::size_t n = sw.workload().num_flows();
+  created_at_open.reserve(n);
+  for (FlowId f = 0; f < n; ++f) created_at_open.push_back(sw.created_packets(f));
+  sw.measure(measure_cycles);
+
+  ExperimentResult result = summarize(sw);
+  for (FlowId f = 0; f < n; ++f) {
+    const auto created =
+        sw.created_packets(f) - created_at_open[f];
+    const double mean_len =
+        static_cast<double>(sw.workload().flow(f).mean_len());
+    result.flows[f].offered_rate =
+        static_cast<double>(created) * mean_len /
+        static_cast<double>(result.measured_cycles);
+  }
+  return result;
+}
+
+}  // namespace ssq::sw

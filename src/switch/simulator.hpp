@@ -1,0 +1,48 @@
+// Experiment driver: warmup/measure orchestration plus per-flow summaries.
+//
+// Benches and examples run the same recipe: build a switch, warm it up,
+// measure, and read per-flow accepted throughput and latency. ExperimentRun
+// packages that so every table in EXPERIMENTS.md is produced by the same
+// audited code path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "switch/crossbar.hpp"
+
+namespace ssq::sw {
+
+struct FlowSummary {
+  FlowId flow = 0;
+  InputId src = 0;
+  OutputId dst = 0;
+  TrafficClass cls = TrafficClass::BestEffort;
+  double reserved_rate = 0.0;
+  double offered_rate = 0.0;    // created flits / measured cycles
+  double accepted_rate = 0.0;   // delivered flits / measured cycles
+  double mean_latency = 0.0;    // cycles/packet
+  double p95_latency = 0.0;     // 95th percentile (histogram estimate)
+  double max_latency = 0.0;
+  double mean_wait = 0.0;       // grant - buffered
+  double max_wait = 0.0;
+  std::uint64_t delivered_packets = 0;
+};
+
+struct ExperimentResult {
+  std::vector<FlowSummary> flows;
+  Cycle measured_cycles = 0;
+  double total_accepted_rate = 0.0;  // flits/cycle summed over flows
+};
+
+/// Runs warmup + measurement on a fresh switch and summarises.
+[[nodiscard]] ExperimentResult run_experiment(const SwitchConfig& config,
+                                              traffic::Workload workload,
+                                              Cycle warmup_cycles,
+                                              Cycle measure_cycles);
+
+/// Summarises an already-measured switch.
+[[nodiscard]] ExperimentResult summarize(const CrossbarSwitch& sw);
+
+}  // namespace ssq::sw

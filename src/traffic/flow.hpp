@@ -1,0 +1,103 @@
+// Flow specification (paper footnote 1: "A flow is a stream of packets that
+// traverse the same route from a source to a destination").
+//
+// A workload is a set of flows; each flow binds a (src input, dst output)
+// pair to a traffic class, a reserved rate (GB only), a packet-size range,
+// and an injection process.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/contracts.hpp"
+#include "sim/types.hpp"
+
+namespace ssq::traffic {
+
+/// Stochastic process deciding when the source creates packets.
+enum class InjectKind : std::uint8_t {
+  /// Independent per-cycle coin flip with P = rate / mean_packet_len.
+  Bernoulli = 0,
+  /// Two-state Markov on/off source: bursts at the peak rate, idle between.
+  OnOff,
+  /// One packet every round(mean_packet_len / rate) cycles, phase 0.
+  Periodic,
+  /// A single burst of `burst_packets` back-to-back packets at cycle
+  /// `burst_start` (GL latency-bound experiments).
+  BurstOnce,
+  /// Explicit injection-cycle list.
+  Trace,
+};
+
+struct FlowSpec {
+  InputId src = 0;
+  OutputId dst = 0;
+  TrafficClass cls = TrafficClass::BestEffort;
+
+  /// GB only: fraction of the destination channel's bandwidth this flow
+  /// reserves (Vtick derives from it). Ignored for BE; GL reservations are
+  /// per-output and shared (see Workload::set_gl_reservation).
+  double reserved_rate = 0.0;
+
+  /// Packet length range in flits; fixed size when min == max. Lengths are
+  /// drawn uniformly from [min, max].
+  std::uint32_t len_min = 1;
+  std::uint32_t len_max = 1;
+
+  InjectKind inject = InjectKind::Bernoulli;
+  /// Offered load in flits/cycle (Bernoulli, OnOff, Periodic).
+  double inject_rate = 0.0;
+
+  /// First cycle the source is active (Bernoulli/OnOff/Periodic): the flow
+  /// creates nothing before this. Enables join/leave transients.
+  Cycle start_cycle = 0;
+
+  /// OnOff: mean burst and idle durations in cycles.
+  double mean_on_cycles = 64.0;
+  double mean_off_cycles = 64.0;
+
+  /// BurstOnce parameters.
+  Cycle burst_start = 0;
+  std::uint32_t burst_packets = 0;
+
+  /// Trace injection cycles (sorted non-decreasing).
+  std::vector<Cycle> trace;
+
+  /// Message priority level for the legacy 4-level QoS baseline [14]
+  /// (arb::Kind::MultiLevel); 0 = lowest, 3 = highest. Ignored by SSVC.
+  std::uint32_t legacy_priority = 0;
+
+  [[nodiscard]] std::uint32_t mean_len() const noexcept {
+    return (len_min + len_max) / 2;
+  }
+
+  void validate(std::uint32_t radix) const {
+    SSQ_EXPECT(src < radix && dst < radix);
+    SSQ_EXPECT(len_min >= 1 && len_min <= len_max);
+    SSQ_EXPECT(legacy_priority < 4);
+    SSQ_EXPECT(reserved_rate >= 0.0 && reserved_rate <= 1.0);
+    if (cls == TrafficClass::GuaranteedBandwidth) {
+      SSQ_EXPECT(reserved_rate > 0.0 &&
+                 "GB flows must reserve a positive rate");
+    }
+    switch (inject) {
+      case InjectKind::Bernoulli:
+      case InjectKind::Periodic:
+        SSQ_EXPECT(inject_rate > 0.0 && inject_rate <= 1.0);
+        break;
+      case InjectKind::OnOff:
+        SSQ_EXPECT(inject_rate > 0.0 && inject_rate <= 1.0);
+        SSQ_EXPECT(mean_on_cycles >= 1.0 && mean_off_cycles >= 0.0);
+        break;
+      case InjectKind::BurstOnce:
+        SSQ_EXPECT(burst_packets >= 1);
+        break;
+      case InjectKind::Trace:
+        for (std::size_t i = 1; i < trace.size(); ++i)
+          SSQ_EXPECT(trace[i] >= trace[i - 1]);
+        break;
+    }
+  }
+};
+
+}  // namespace ssq::traffic

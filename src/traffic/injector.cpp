@@ -1,0 +1,90 @@
+#include "traffic/injector.hpp"
+
+#include <cmath>
+
+#include "sim/contracts.hpp"
+
+namespace ssq::traffic {
+
+Injector::Injector(const FlowSpec& spec, Rng rng)
+    : spec_(spec), rng_(rng) {
+  const double mean_len = static_cast<double>(spec_.mean_len());
+  switch (spec_.inject) {
+    case InjectKind::Bernoulli:
+      p_inject_ = spec_.inject_rate / mean_len;
+      SSQ_EXPECT(p_inject_ <= 1.0 + 1e-12);
+      break;
+    case InjectKind::OnOff: {
+      // Average rate = peak_rate * duty; duty = on / (on + off).
+      const double duty =
+          spec_.mean_on_cycles / (spec_.mean_on_cycles + spec_.mean_off_cycles);
+      const double peak = spec_.inject_rate / duty;
+      p_inject_ = peak / mean_len;
+      if (p_inject_ > 1.0) p_inject_ = 1.0;  // saturated bursts
+      p_leave_on_ = 1.0 / spec_.mean_on_cycles;
+      p_leave_off_ =
+          spec_.mean_off_cycles > 0.0 ? 1.0 / spec_.mean_off_cycles : 1.0;
+      on_ = false;
+      break;
+    }
+    case InjectKind::Periodic: {
+      const double ideal = mean_len / spec_.inject_rate;
+      period_ = static_cast<Cycle>(std::llround(ideal));
+      if (period_ < 1) period_ = 1;
+      next_fire_ = spec_.start_cycle;
+      break;
+    }
+    case InjectKind::BurstOnce:
+    case InjectKind::Trace:
+      break;
+  }
+}
+
+std::uint32_t Injector::packets_at(Cycle now) {
+  if (now < spec_.start_cycle && spec_.inject != InjectKind::BurstOnce &&
+      spec_.inject != InjectKind::Trace) {
+    return 0;
+  }
+  std::uint32_t n = 0;
+  switch (spec_.inject) {
+    case InjectKind::Bernoulli:
+      n = rng_.bernoulli(p_inject_) ? 1 : 0;
+      break;
+    case InjectKind::OnOff:
+      if (on_) {
+        n = rng_.bernoulli(p_inject_) ? 1 : 0;
+        if (rng_.bernoulli(p_leave_on_)) on_ = false;
+      } else {
+        if (rng_.bernoulli(p_leave_off_)) on_ = true;
+      }
+      break;
+    case InjectKind::Periodic:
+      if (now >= next_fire_) {
+        n = 1;
+        next_fire_ = now + period_;
+      }
+      break;
+    case InjectKind::BurstOnce:
+      if (!burst_done_ && now >= spec_.burst_start) {
+        n = spec_.burst_packets;
+        burst_done_ = true;
+      }
+      break;
+    case InjectKind::Trace:
+      while (trace_pos_ < spec_.trace.size() && spec_.trace[trace_pos_] <= now) {
+        ++n;
+        ++trace_pos_;
+      }
+      break;
+  }
+  created_ += n;
+  return n;
+}
+
+std::uint32_t Injector::draw_length() {
+  if (spec_.len_min == spec_.len_max) return spec_.len_min;
+  return static_cast<std::uint32_t>(
+      rng_.between(spec_.len_min, spec_.len_max));
+}
+
+}  // namespace ssq::traffic

@@ -1,0 +1,54 @@
+// Per-flow packet injection processes.
+//
+// An Injector owns the stochastic state of one flow's source and answers,
+// cycle by cycle, how many packets the source creates and how long each one
+// is. Determinism: each injector is seeded by forking the experiment RNG.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+#include "traffic/flow.hpp"
+
+namespace ssq::traffic {
+
+class Injector {
+ public:
+  Injector(const FlowSpec& spec, Rng rng);
+
+  /// Number of packets created at cycle `now`. Cycles must be queried in
+  /// non-decreasing order. Most processes yield 0 or 1; BurstOnce yields the
+  /// whole burst at its start cycle.
+  [[nodiscard]] std::uint32_t packets_at(Cycle now);
+
+  /// Draws the length (flits) for the next created packet.
+  [[nodiscard]] std::uint32_t draw_length();
+
+  [[nodiscard]] const FlowSpec& spec() const noexcept { return spec_; }
+
+  /// Total packets created so far.
+  [[nodiscard]] std::uint64_t created() const noexcept { return created_; }
+
+ private:
+  FlowSpec spec_;
+  Rng rng_;
+  std::uint64_t created_ = 0;
+
+  // Bernoulli / OnOff.
+  double p_inject_ = 0.0;   // per-cycle packet probability while active
+  bool on_ = true;          // OnOff state
+  double p_leave_on_ = 0.0;
+  double p_leave_off_ = 0.0;
+
+  // Periodic.
+  Cycle period_ = 0;
+  Cycle next_fire_ = 0;
+
+  // Trace.
+  std::size_t trace_pos_ = 0;
+
+  bool burst_done_ = false;
+};
+
+}  // namespace ssq::traffic

@@ -1,0 +1,85 @@
+#include "traffic/patterns.hpp"
+
+#include <vector>
+
+#include "sim/contracts.hpp"
+
+namespace ssq::traffic {
+
+const char* pattern_name(Pattern p) noexcept {
+  switch (p) {
+    case Pattern::UniformRandom: return "uniform";
+    case Pattern::Hotspot: return "hotspot";
+    case Pattern::Transpose: return "transpose";
+    case Pattern::Tornado: return "tornado";
+    case Pattern::Neighbour: return "neighbour";
+  }
+  return "?";
+}
+
+Workload build_pattern(const PatternConfig& config) {
+  const std::uint32_t n = config.radix;
+  SSQ_EXPECT(n >= 2 && n <= 64);
+  SSQ_EXPECT(config.load_per_input > 0.0 && config.load_per_input <= 1.0);
+  SSQ_EXPECT(config.cls != TrafficClass::GuaranteedLatency &&
+             "patterns build BE/GB workloads; GL needs per-output "
+             "reservations the pattern cannot choose for you");
+
+  // Destination list per source.
+  std::vector<std::vector<OutputId>> dests(n);
+  switch (config.pattern) {
+    case Pattern::UniformRandom:
+      for (InputId i = 0; i < n; ++i) {
+        for (OutputId o = 0; o < n; ++o) {
+          if (o != i) dests[i].push_back(o);
+        }
+      }
+      break;
+    case Pattern::Hotspot:
+      for (InputId i = 0; i < n; ++i) {
+        if (i != config.hotspot) dests[i].push_back(config.hotspot);
+      }
+      break;
+    case Pattern::Transpose:
+      for (InputId i = 0; i < n; ++i) dests[i].push_back(n - 1 - i);
+      break;
+    case Pattern::Tornado:
+      for (InputId i = 0; i < n; ++i) {
+        dests[i].push_back((i + n / 2 - (n % 2 == 0 ? 1 : 0)) % n);
+      }
+      break;
+    case Pattern::Neighbour:
+      for (InputId i = 0; i < n; ++i) dests[i].push_back((i + 1) % n);
+      break;
+  }
+
+  // Senders per destination (for GB reservations).
+  std::vector<std::uint32_t> senders(n, 0);
+  for (InputId i = 0; i < n; ++i) {
+    for (OutputId o : dests[i]) ++senders[o];
+  }
+
+  Workload w(n);
+  for (InputId i = 0; i < n; ++i) {
+    if (dests[i].empty()) continue;
+    const double per_flow_load =
+        config.load_per_input / static_cast<double>(dests[i].size());
+    for (OutputId o : dests[i]) {
+      FlowSpec f;
+      f.src = i;
+      f.dst = o;
+      f.cls = config.cls;
+      if (config.cls == TrafficClass::GuaranteedBandwidth) {
+        f.reserved_rate = 0.9 / static_cast<double>(senders[o]);
+      }
+      f.len_min = f.len_max = config.packet_len;
+      f.inject = InjectKind::Bernoulli;
+      f.inject_rate = per_flow_load;
+      w.add_flow(f);
+    }
+  }
+  w.validate();
+  return w;
+}
+
+}  // namespace ssq::traffic

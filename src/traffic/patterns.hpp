@@ -1,0 +1,46 @@
+// Classic synthetic traffic patterns (the standard NoC evaluation set:
+// uniform random, hotspot, transpose, tornado, neighbour), expressed as
+// Workload builders over the single crossbar.
+//
+// Each builder creates one flow per (source, destination) pair the pattern
+// uses. For GB variants every flow reserves an equal admissible fraction of
+// its destination; BE variants carry no reservations.
+#pragma once
+
+#include <cstdint>
+
+#include "traffic/workload.hpp"
+
+namespace ssq::traffic {
+
+enum class Pattern : std::uint8_t {
+  /// Every input sends to every other output with equal load.
+  UniformRandom = 0,
+  /// Every input sends to one output (plus optional background).
+  Hotspot,
+  /// Permutation: input i sends to output (N-1) - i.
+  Transpose,
+  /// dst = (i + N/2 - 1) mod N — adversarial for rings, a permutation here.
+  Tornado,
+  /// dst = (i + 1) mod N.
+  Neighbour,
+};
+
+[[nodiscard]] const char* pattern_name(Pattern p) noexcept;
+
+struct PatternConfig {
+  Pattern pattern = Pattern::UniformRandom;
+  std::uint32_t radix = 8;
+  /// Offered load per input, flits/cycle, spread across the input's flows.
+  double load_per_input = 0.5;
+  std::uint32_t packet_len = 8;
+  TrafficClass cls = TrafficClass::BestEffort;
+  /// Hotspot only: the hot output.
+  OutputId hotspot = 0;
+};
+
+/// Builds the workload for a pattern. GB variants reserve equal admissible
+/// fractions (0.9 of each destination split among its senders).
+[[nodiscard]] Workload build_pattern(const PatternConfig& config);
+
+}  // namespace ssq::traffic

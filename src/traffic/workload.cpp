@@ -1,0 +1,72 @@
+#include "traffic/workload.hpp"
+
+#include <algorithm>
+
+#include "sim/contracts.hpp"
+
+namespace ssq::traffic {
+
+Workload::Workload(std::uint32_t radix) : radix_(radix) {
+  SSQ_EXPECT(radix >= 1 && radix <= 64);
+  gl_rate_.assign(radix, 0.0);
+  gl_packet_len_.assign(radix, 1);
+}
+
+FlowId Workload::add_flow(FlowSpec spec) {
+  spec.validate(radix_);
+  flows_.push_back(std::move(spec));
+  return static_cast<FlowId>(flows_.size() - 1);
+}
+
+void Workload::set_gl_reservation(OutputId dst, double rate,
+                                  std::uint32_t packet_len) {
+  SSQ_EXPECT(dst < radix_);
+  SSQ_EXPECT(rate >= 0.0 && rate <= 1.0);
+  SSQ_EXPECT(packet_len >= 1);
+  gl_rate_[dst] = rate;
+  gl_packet_len_[dst] = packet_len;
+}
+
+const FlowSpec& Workload::flow(FlowId id) const {
+  SSQ_EXPECT(id < flows_.size());
+  return flows_[id];
+}
+
+core::OutputAllocation Workload::allocation_for(OutputId dst) const {
+  SSQ_EXPECT(dst < radix_);
+  core::OutputAllocation alloc = core::OutputAllocation::none(radix_);
+  std::uint32_t gb_len = 1;
+  for (const auto& f : flows_) {
+    if (f.dst != dst || f.cls != TrafficClass::GuaranteedBandwidth) continue;
+    alloc.gb_rate[f.src] += f.reserved_rate;
+    gb_len = std::max(gb_len, f.mean_len());
+  }
+  alloc.gb_packet_len = gb_len;
+  alloc.gl_rate = gl_rate_[dst];
+  alloc.gl_packet_len = gl_packet_len_[dst];
+  return alloc;
+}
+
+void Workload::validate() const {
+  for (const auto& f : flows_) f.validate(radix_);
+  SSQ_EXPECT(crosspoints_exclusive());
+  for (OutputId o = 0; o < radix_; ++o) {
+    const auto alloc = allocation_for(o);
+    SSQ_EXPECT(alloc.admissible(radix_) &&
+               "output over-subscribed: sum of GB rates + GL rate > 1");
+  }
+}
+
+bool Workload::crosspoints_exclusive() const {
+  std::vector<std::uint8_t> gb_count(
+      static_cast<std::size_t>(radix_) * radix_, 0);
+  for (const auto& f : flows_) {
+    if (f.cls != TrafficClass::GuaranteedBandwidth) continue;
+    auto& n = gb_count[static_cast<std::size_t>(f.src) * radix_ + f.dst];
+    if (n != 0) return false;
+    n = 1;
+  }
+  return true;
+}
+
+}  // namespace ssq::traffic

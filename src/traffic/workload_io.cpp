@@ -1,0 +1,230 @@
+#include "traffic/workload_io.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "sim/contracts.hpp"
+
+namespace ssq::traffic {
+
+namespace {
+
+[[noreturn]] void parse_fail(const std::string& name, int line,
+                             const std::string& what) {
+  std::fprintf(stderr, "ssq: workload parse error at %s:%d: %s\n",
+               name.c_str(), line, what.c_str());
+  std::abort();
+}
+
+struct FieldMap {
+  std::vector<std::pair<std::string, std::string>> kv;
+  const std::string& file;
+  int line;
+
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::string require(std::string_view key) const {
+    auto v = get(key);
+    if (!v) parse_fail(file, line, "missing field '" + std::string(key) + "'");
+    return *v;
+  }
+
+  [[nodiscard]] double number(std::string_view key, double fallback) const {
+    auto v = get(key);
+    if (!v) return fallback;
+    char* end = nullptr;
+    const double x = std::strtod(v->c_str(), &end);
+    if (end == v->c_str() || *end != '\0') {
+      parse_fail(file, line, "field '" + std::string(key) +
+                                 "' is not a number: " + *v);
+    }
+    return x;
+  }
+
+  [[nodiscard]] double require_number(std::string_view key) const {
+    const std::string raw = require(key);
+    (void)raw;
+    return number(key, 0.0);
+  }
+};
+
+FieldMap parse_fields(const std::vector<std::string>& tokens,
+                      const std::string& file, int line) {
+  FieldMap map{.kv = {}, .file = file, .line = line};
+  for (std::size_t t = 1; t < tokens.size(); ++t) {
+    const auto eq = tokens[t].find('=');
+    if (eq == std::string::npos || eq == 0) {
+      parse_fail(file, line, "expected key=value, got '" + tokens[t] + "'");
+    }
+    map.kv.push_back({tokens[t].substr(0, eq), tokens[t].substr(eq + 1)});
+  }
+  return map;
+}
+
+TrafficClass parse_class(const std::string& s, const std::string& file,
+                         int line) {
+  if (s == "be") return TrafficClass::BestEffort;
+  if (s == "gb") return TrafficClass::GuaranteedBandwidth;
+  if (s == "gl") return TrafficClass::GuaranteedLatency;
+  parse_fail(file, line, "unknown class '" + s + "' (be|gb|gl)");
+}
+
+InjectKind parse_inject(const std::string& s, const std::string& file,
+                        int line) {
+  if (s == "bernoulli") return InjectKind::Bernoulli;
+  if (s == "onoff") return InjectKind::OnOff;
+  if (s == "periodic") return InjectKind::Periodic;
+  if (s == "burst") return InjectKind::BurstOnce;
+  parse_fail(file, line,
+             "unknown inject '" + s + "' (bernoulli|onoff|periodic|burst)");
+}
+
+const char* class_name(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::BestEffort: return "be";
+    case TrafficClass::GuaranteedBandwidth: return "gb";
+    case TrafficClass::GuaranteedLatency: return "gl";
+  }
+  return "?";
+}
+
+const char* inject_name(InjectKind k) {
+  switch (k) {
+    case InjectKind::Bernoulli: return "bernoulli";
+    case InjectKind::OnOff: return "onoff";
+    case InjectKind::Periodic: return "periodic";
+    case InjectKind::BurstOnce: return "burst";
+    case InjectKind::Trace: return "trace";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Workload parse_workload(std::istream& in, const std::string& name) {
+  std::optional<Workload> workload;
+  std::string line;
+  int line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream ls(line);
+    std::vector<std::string> tokens;
+    for (std::string tok; ls >> tok;) tokens.push_back(tok);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "radix") {
+      if (tokens.size() != 2) parse_fail(name, line_no, "radix <N>");
+      const int radix = std::atoi(tokens[1].c_str());
+      if (radix < 2 || radix > 64) {
+        parse_fail(name, line_no, "radix out of range [2,64]");
+      }
+      if (workload) parse_fail(name, line_no, "duplicate radix line");
+      workload.emplace(static_cast<std::uint32_t>(radix));
+      continue;
+    }
+    if (!workload) {
+      parse_fail(name, line_no, "the first directive must be 'radix <N>'");
+    }
+
+    const FieldMap f = parse_fields(tokens, name, line_no);
+    if (tokens[0] == "flow") {
+      FlowSpec spec;
+      spec.src = static_cast<InputId>(f.require_number("src"));
+      spec.dst = static_cast<OutputId>(f.require_number("dst"));
+      spec.cls = parse_class(f.get("class").value_or("be"), name, line_no);
+      spec.reserved_rate = f.number("rate", 0.0);
+      const auto len = static_cast<std::uint32_t>(f.number("len", 1.0));
+      spec.len_min = static_cast<std::uint32_t>(f.number("len_min", len));
+      spec.len_max = static_cast<std::uint32_t>(f.number("len_max", len));
+      spec.inject =
+          parse_inject(f.get("inject").value_or("bernoulli"), name, line_no);
+      spec.inject_rate = f.number("load", 0.0);
+      spec.mean_on_cycles = f.number("on", 64.0);
+      spec.mean_off_cycles = f.number("off", 64.0);
+      spec.burst_start = static_cast<Cycle>(f.number("burst_start", 0.0));
+      spec.burst_packets =
+          static_cast<std::uint32_t>(f.number("burst_packets", 0.0));
+      spec.start_cycle = static_cast<Cycle>(f.number("start", 0.0));
+      spec.legacy_priority = static_cast<std::uint32_t>(f.number("prio", 0.0));
+      workload->add_flow(spec);
+    } else if (tokens[0] == "gl_reservation") {
+      workload->set_gl_reservation(
+          static_cast<OutputId>(f.require_number("dst")),
+          f.require_number("rate"),
+          static_cast<std::uint32_t>(f.number("len", 1.0)));
+    } else {
+      parse_fail(name, line_no, "unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (!workload) parse_fail(name, line_no, "empty workload (no 'radix' line)");
+  workload->validate();
+  return std::move(*workload);
+}
+
+Workload load_workload(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "ssq: cannot open workload file '%s'\n",
+                 path.c_str());
+    std::abort();
+  }
+  return parse_workload(in, path);
+}
+
+void write_workload(std::ostream& out, const Workload& workload) {
+  out << "radix " << workload.radix() << "\n";
+  for (const auto& f : workload.flows()) {
+    out << "flow src=" << f.src << " dst=" << f.dst
+        << " class=" << class_name(f.cls);
+    if (f.cls == TrafficClass::GuaranteedBandwidth) {
+      out << " rate=" << f.reserved_rate;
+    }
+    out << " len_min=" << f.len_min << " len_max=" << f.len_max
+        << " inject=" << inject_name(f.inject);
+    switch (f.inject) {
+      case InjectKind::Bernoulli:
+      case InjectKind::Periodic:
+        out << " load=" << f.inject_rate;
+        break;
+      case InjectKind::OnOff:
+        out << " load=" << f.inject_rate << " on=" << f.mean_on_cycles
+            << " off=" << f.mean_off_cycles;
+        break;
+      case InjectKind::BurstOnce:
+        out << " burst_start=" << f.burst_start
+            << " burst_packets=" << f.burst_packets;
+        break;
+      case InjectKind::Trace:
+        break;  // traces are not serialised by the text format
+    }
+    if (f.start_cycle != 0) out << " start=" << f.start_cycle;
+    if (f.legacy_priority != 0) out << " prio=" << f.legacy_priority;
+    out << "\n";
+  }
+  for (OutputId d = 0; d < workload.radix(); ++d) {
+    if (workload.gl_reservation_rate(d) > 0.0) {
+      out << "gl_reservation dst=" << d
+          << " rate=" << workload.gl_reservation_rate(d)
+          << " len=" << workload.gl_reservation_packet_len(d) << "\n";
+    }
+  }
+}
+
+}  // namespace ssq::traffic

@@ -1,0 +1,46 @@
+// Plain-text workload description format, so experiments can be run from
+// files (tools/ssq_sim) and exchanged without recompiling.
+//
+// Line-based, `#` comments, whitespace-separated key=value fields:
+//
+//     # 8-port switch, one GB stream, one BE hog, one GL heartbeat
+//     radix 8
+//     flow src=0 dst=7 class=gb rate=0.30 len=8 inject=bernoulli load=0.25
+//     flow src=1 dst=7 class=be len=8 inject=bernoulli load=0.8
+//     flow src=2 dst=7 class=gl len=1 inject=bernoulli load=0.005
+//     gl_reservation dst=7 rate=0.05 len=1
+//
+// Flow fields:
+//   src= dst=           port indices (required)
+//   class=              be | gb | gl            (default be)
+//   rate=               GB reserved fraction    (required for gb)
+//   len= / len_min= len_max=   packet length in flits (default 1)
+//   inject=             bernoulli | onoff | periodic | burst (default bernoulli)
+//   load=               offered flits/cycle (bernoulli/onoff/periodic)
+//   on= off=            onoff mean burst/idle cycles
+//   burst_start= burst_packets=   burst injection
+//   prio=               legacy 4-level message priority (default 0)
+//
+// Parse errors abort with the offending line number — a workload silently
+// misread is worse than no workload.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "traffic/workload.hpp"
+
+namespace ssq::traffic {
+
+/// Parses a workload description; aborts with file:line context on errors.
+[[nodiscard]] Workload parse_workload(std::istream& in,
+                                      const std::string& name = "<stream>");
+
+/// Loads a workload from a file path.
+[[nodiscard]] Workload load_workload(const std::string& path);
+
+/// Serialises a workload back to the text format (round-trips with
+/// parse_workload for every field the format covers).
+void write_workload(std::ostream& out, const Workload& workload);
+
+}  // namespace ssq::traffic

@@ -1,0 +1,130 @@
+// Tests for src/hw: the Table 1 storage reconstruction, the §4.5 area
+// claims, and the Table 2 timing-model anchors and monotonic shape.
+#include <gtest/gtest.h>
+
+#include "hw/area_model.hpp"
+#include "hw/energy_model.hpp"
+#include "hw/storage_model.hpp"
+#include "hw/timing_model.hpp"
+
+namespace ssq::hw {
+namespace {
+
+// ------------------------------------------------------------ Table 1 ----
+
+TEST(StorageModelTest, Table1WorstCase) {
+  // 64x64 switch, 512-bit output buses, 64-byte flits, 4-flit buffers.
+  const StorageParams p{};  // defaults are exactly the Table 1 configuration
+  const auto b = compute_storage(p);
+
+  EXPECT_DOUBLE_EQ(b.be_buffer_bytes, 256.0);
+  EXPECT_DOUBLE_EQ(b.gb_buffer_bytes, 16384.0);  // 4 flits/out x 64 outs x 64B
+  EXPECT_DOUBLE_EQ(b.gl_buffer_bytes, 256.0);
+  EXPECT_DOUBLE_EQ(b.total_buffering_kib(), 1056.0);  // "1,056 K"
+
+  EXPECT_DOUBLE_EQ(b.aux_vc_bytes, 1.375);       // 3+8 bits
+  EXPECT_DOUBLE_EQ(b.thermometer_bytes, 1.0);    // 8 bits
+  EXPECT_DOUBLE_EQ(b.vtick_bytes, 1.0);          // 8 bits
+  EXPECT_DOUBLE_EQ(b.lrg_bytes, 7.875);          // 63 bits
+  EXPECT_EQ(b.num_crosspoints, 4096u);
+  EXPECT_DOUBLE_EQ(b.total_crosspoint_kib(), 45.0);  // "45 K"
+
+  EXPECT_DOUBLE_EQ(b.total_kib(), 1101.0);  // "1,101 K" — about 1 MB
+}
+
+TEST(StorageModelTest, BufferingDominatesCrosspointState) {
+  const auto b = compute_storage(StorageParams{});
+  EXPECT_GT(b.total_buffering_bytes, 20.0 * b.total_crosspoint_bytes);
+}
+
+TEST(StorageModelTest, ScalesWithRadix) {
+  StorageParams p{};
+  p.radix = 8;
+  const auto small = compute_storage(p);
+  const auto large = compute_storage(StorageParams{});
+  // Crosspoint state grows ~quadratically with radix.
+  EXPECT_GT(large.total_crosspoint_bytes, 40.0 * small.total_crosspoint_bytes);
+  // Per-crosspoint LRG row shrinks with radix.
+  EXPECT_DOUBLE_EQ(small.lrg_bytes, 7.0 / 8.0);
+}
+
+// --------------------------------------------------------- Area model ----
+
+TEST(AreaModelTest, PaperClaims) {
+  EXPECT_NEAR(ssvc_area_overhead(128), 0.02, 1e-12);
+  EXPECT_DOUBLE_EQ(ssvc_area_overhead(256), 0.0);
+  EXPECT_DOUBLE_EQ(ssvc_area_overhead(512), 0.0);
+  // "equivalent to the area of a 131-bit channel"
+  EXPECT_NEAR(ssvc_equivalent_channel_bits(128), 130.56, 0.01);
+  EXPECT_DOUBLE_EQ(ssvc_equivalent_channel_bits(512), 512.0);
+}
+
+TEST(AreaModelTest, NarrowerChannelsPayMore) {
+  EXPECT_GT(ssvc_area_overhead(64), ssvc_area_overhead(128));
+}
+
+// ------------------------------------------------------- Energy model ----
+
+TEST(EnergyModelTest, ScalesWithDischargesAndRadix) {
+  EXPECT_DOUBLE_EQ(arbitration_energy_pj(0, 8), 0.0);
+  EXPECT_DOUBLE_EQ(arbitration_energy_pj(64, 64), 64.0);  // reference point
+  // Shorter bitlines (smaller radix) cost proportionally less per wire.
+  EXPECT_DOUBLE_EQ(arbitration_energy_pj(10, 8),
+                   arbitration_energy_pj(10, 64) / 8.0);
+  EXPECT_GT(arbitration_energy_pj(100, 16), arbitration_energy_pj(50, 16));
+}
+
+// ------------------------------------------------------------ Table 2 ----
+
+TEST(TimingModelTest, AnchorsReproduced) {
+  const TimingModel m;
+  // [16]: 64x64 Swizzle Switch at 1.5 GHz (128-bit channels).
+  EXPECT_NEAR(m.ss_freq_ghz(64, 128), 1.5, 1e-9);
+  // §4.5: "The worst slowdown is 8.4% for the 256-bit channel, 8x8".
+  EXPECT_NEAR(m.slowdown(8, 256), 0.084, 1e-9);
+}
+
+TEST(TimingModelTest, WorstSlowdownIsAtRadix8By256) {
+  const TimingModel m;
+  const double worst = m.slowdown(8, 256);
+  for (std::uint32_t radix : {8u, 16u, 32u, 64u}) {
+    for (std::uint32_t width : {128u, 256u, 512u}) {
+      EXPECT_LE(m.slowdown(radix, width), worst + 1e-12)
+          << radix << "x" << width;
+    }
+  }
+}
+
+TEST(TimingModelTest, FrequencyFallsWithRadixAndWidth) {
+  const TimingModel m;
+  for (std::uint32_t width : {128u, 256u, 512u}) {
+    EXPECT_GT(m.ss_freq_ghz(8, width), m.ss_freq_ghz(16, width));
+    EXPECT_GT(m.ss_freq_ghz(16, width), m.ss_freq_ghz(32, width));
+    EXPECT_GT(m.ss_freq_ghz(32, width), m.ss_freq_ghz(64, width));
+  }
+  for (std::uint32_t radix : {8u, 16u, 32u, 64u}) {
+    EXPECT_GT(m.ss_freq_ghz(radix, 128), m.ss_freq_ghz(radix, 256));
+    EXPECT_GT(m.ss_freq_ghz(radix, 256), m.ss_freq_ghz(radix, 512));
+  }
+}
+
+TEST(TimingModelTest, SsvcAlwaysSlowerButBounded) {
+  const TimingModel m;
+  for (std::uint32_t radix : {8u, 16u, 32u, 64u}) {
+    for (std::uint32_t width : {128u, 256u, 512u}) {
+      const double s = m.slowdown(radix, width);
+      EXPECT_GT(s, 0.0);
+      EXPECT_LE(s, 0.084 + 1e-12);
+      EXPECT_LT(m.ssvc_freq_ghz(radix, width), m.ss_freq_ghz(radix, width));
+    }
+  }
+}
+
+TEST(TimingModelTest, LargeSwitchesBarelyNoticeSsvc) {
+  const TimingModel m;
+  // At 64x64 the wire delay dominates; the mux adds ~1 %.
+  EXPECT_LT(m.slowdown(64, 128), 0.02);
+}
+
+}  // namespace
+}  // namespace ssq::hw

@@ -1,0 +1,135 @@
+// Unit tests for src/switch/input_port: per-class buffering, flit-granular
+// occupancy, head-of-line visibility, and the single-transmitter bookkeeping.
+#include <gtest/gtest.h>
+
+#include "switch/input_port.hpp"
+
+namespace ssq::sw {
+namespace {
+
+Packet make_packet(InputId src, OutputId dst, TrafficClass cls,
+                   std::uint32_t len, PacketId id = 0) {
+  Packet p;
+  p.id = id;
+  p.src = src;
+  p.dst = dst;
+  p.cls = cls;
+  p.length = len;
+  return p;
+}
+
+BufferConfig small_buffers() {
+  return BufferConfig{.be_flits = 8, .gb_flits_per_output = 8, .gl_flits = 4};
+}
+
+TEST(InputPortTest, AcceptStampsBufferedCycle) {
+  InputPort port(2, 4, small_buffers());
+  port.accept(make_packet(2, 1, TrafficClass::GuaranteedBandwidth, 4), 123);
+  ASSERT_NE(port.gb_head(1), nullptr);
+  EXPECT_EQ(port.gb_head(1)->buffered, 123u);
+  EXPECT_EQ(port.gb_occupancy(1), 4u);
+}
+
+TEST(InputPortTest, PerClassBuffersAreIndependent) {
+  InputPort port(0, 4, small_buffers());
+  port.accept(make_packet(0, 1, TrafficClass::BestEffort, 8), 0);
+  EXPECT_EQ(port.be_occupancy(), 8u);
+  // BE is full but GB and GL still accept.
+  EXPECT_FALSE(
+      port.can_accept(make_packet(0, 2, TrafficClass::BestEffort, 1)));
+  EXPECT_TRUE(port.can_accept(
+      make_packet(0, 2, TrafficClass::GuaranteedBandwidth, 8)));
+  EXPECT_TRUE(
+      port.can_accept(make_packet(0, 2, TrafficClass::GuaranteedLatency, 4)));
+}
+
+TEST(InputPortTest, GbBuffersArePerOutput) {
+  InputPort port(0, 4, small_buffers());
+  port.accept(make_packet(0, 1, TrafficClass::GuaranteedBandwidth, 8), 0);
+  EXPECT_EQ(port.gb_occupancy(1), 8u);
+  EXPECT_EQ(port.gb_occupancy(2), 0u);
+  // The (0,1) crosspoint queue is full; the (0,2) queue is not.
+  EXPECT_FALSE(port.can_accept(
+      make_packet(0, 1, TrafficClass::GuaranteedBandwidth, 1)));
+  EXPECT_TRUE(port.can_accept(
+      make_packet(0, 2, TrafficClass::GuaranteedBandwidth, 8)));
+}
+
+TEST(InputPortTest, AcceptanceIsWholePacketGranular) {
+  InputPort port(0, 4, small_buffers());
+  port.accept(make_packet(0, 0, TrafficClass::GuaranteedLatency, 3), 0);
+  // 1 flit free but the 2-flit packet does not fit.
+  EXPECT_FALSE(port.can_accept(
+      make_packet(0, 0, TrafficClass::GuaranteedLatency, 2)));
+  EXPECT_TRUE(port.can_accept(
+      make_packet(0, 0, TrafficClass::GuaranteedLatency, 1)));
+}
+
+TEST(InputPortTest, FifoOrderWithinAQueue) {
+  InputPort port(0, 4, small_buffers());
+  port.accept(make_packet(0, 3, TrafficClass::GuaranteedBandwidth, 2, 11), 0);
+  port.accept(make_packet(0, 3, TrafficClass::GuaranteedBandwidth, 2, 22), 1);
+  EXPECT_EQ(port.gb_head(3)->id, 11u);
+  EXPECT_EQ(port.pop_gb(3).id, 11u);
+  EXPECT_EQ(port.gb_head(3)->id, 22u);
+}
+
+TEST(InputPortTest, PopKeepsOccupancyUntilDrained) {
+  InputPort port(0, 4, small_buffers());
+  port.accept(make_packet(0, 2, TrafficClass::GuaranteedBandwidth, 4), 0);
+  const Packet p = port.pop_gb(2);
+  EXPECT_EQ(p.length, 4u);
+  // Flits still occupy the buffer while "on the wire".
+  EXPECT_EQ(port.gb_occupancy(2), 4u);
+  for (int k = 0; k < 4; ++k) {
+    port.drain_flit(TrafficClass::GuaranteedBandwidth, 2);
+  }
+  EXPECT_EQ(port.gb_occupancy(2), 0u);
+}
+
+TEST(InputPortTest, HeadsAreNullWhenEmpty) {
+  InputPort port(0, 4, small_buffers());
+  EXPECT_EQ(port.be_head(), nullptr);
+  EXPECT_EQ(port.gl_head(), nullptr);
+  for (OutputId o = 0; o < 4; ++o) EXPECT_EQ(port.gb_head(o), nullptr);
+}
+
+TEST(InputPortTest, BusyWindow) {
+  InputPort port(0, 4, small_buffers());
+  EXPECT_FALSE(port.busy(0));
+  port.set_free_at(10);
+  EXPECT_TRUE(port.busy(9));
+  EXPECT_FALSE(port.busy(10));
+}
+
+TEST(InputPortTest, GbPointerRotation) {
+  InputPort port(0, 4, small_buffers());
+  EXPECT_EQ(port.gb_pointer(), 0u);
+  port.advance_gb_pointer(2);
+  EXPECT_EQ(port.gb_pointer(), 3u);
+  port.advance_gb_pointer(3);
+  EXPECT_EQ(port.gb_pointer(), 0u);  // wraps
+}
+
+TEST(InputPortDeathTest, AcceptWithoutSpaceAborts) {
+  InputPort port(0, 4, small_buffers());
+  port.accept(make_packet(0, 0, TrafficClass::GuaranteedLatency, 4), 0);
+  EXPECT_DEATH(
+      port.accept(make_packet(0, 0, TrafficClass::GuaranteedLatency, 1), 1),
+      "can_accept");
+}
+
+TEST(InputPortDeathTest, WrongSourceAborts) {
+  InputPort port(3, 4, small_buffers());
+  EXPECT_DEATH(
+      port.accept(make_packet(1, 0, TrafficClass::BestEffort, 1), 0),
+      "src");
+}
+
+TEST(InputPortDeathTest, OverdrainAborts) {
+  InputPort port(0, 4, small_buffers());
+  EXPECT_DEATH(port.drain_flit(TrafficClass::BestEffort, 0), "be_occ");
+}
+
+}  // namespace
+}  // namespace ssq::sw

@@ -1,0 +1,283 @@
+// Cross-module integration tests: miniature versions of the paper's
+// experiments (Fig. 4, Fig. 5) and the lock-step equivalence of the
+// behavioural QoS arbiter with the bit-level circuit model (§4.1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "circuit/circuit_arbiter.hpp"
+#include "core/output_arbiter.hpp"
+#include "sim/rng.hpp"
+#include "switch/simulator.hpp"
+#include "traffic/workload.hpp"
+
+namespace ssq {
+namespace {
+
+using sw::ArbitrationMode;
+using sw::CrossbarSwitch;
+using sw::SwitchConfig;
+using traffic::FlowSpec;
+using traffic::InjectKind;
+using traffic::Workload;
+
+FlowSpec gb_flow(InputId src, OutputId dst, double rate, std::uint32_t len,
+                 double inject_rate,
+                 InjectKind kind = InjectKind::Bernoulli) {
+  FlowSpec f;
+  f.src = src;
+  f.dst = dst;
+  f.cls = TrafficClass::GuaranteedBandwidth;
+  f.reserved_rate = rate;
+  f.len_min = f.len_max = len;
+  f.inject = kind;
+  f.inject_rate = inject_rate;
+  return f;
+}
+
+SwitchConfig fig4_config() {
+  SwitchConfig c;
+  c.radix = 8;
+  c.ssvc.level_bits = 4;  // "4 significant bits of auxVC"
+  c.ssvc.lsb_bits = 5;
+  c.ssvc.vtick_shift = 2;
+  c.buffers.gb_flits_per_output = 16;  // "16-flit buffers"
+  c.seed = 42;
+  return c;
+}
+
+/// The Fig. 4 reserved-rate vector: 40/20/10/10/5/5/5/5 %.
+const std::vector<double> kFig4Rates = {0.40, 0.20, 0.10, 0.10,
+                                        0.05, 0.05, 0.05, 0.05};
+
+Workload fig4_workload(double inject_rate) {
+  Workload w(8);
+  for (InputId i = 0; i < 8; ++i) {
+    w.add_flow(gb_flow(i, 0, kFig4Rates[i], 8, inject_rate));
+  }
+  return w;
+}
+
+// ------------------------------------------------------------- Fig. 4 ----
+
+TEST(Fig4Integration, LrgBaselineSharesEquallyAtSaturation) {
+  SwitchConfig c = fig4_config();
+  c.mode = ArbitrationMode::Baseline;
+  c.baseline = arb::Kind::Lrg;
+  const auto r = sw::run_experiment(c, fig4_workload(0.125), 5000, 50000);
+  EXPECT_NEAR(r.total_accepted_rate, 8.0 / 9.0, 0.01);
+  for (const auto& f : r.flows) {
+    EXPECT_NEAR(f.accepted_rate, 8.0 / 9.0 / 8.0, 0.01) << "flow " << f.flow;
+  }
+}
+
+TEST(Fig4Integration, SsvcDeliversReservedShares) {
+  // At injection 0.125 flits/input/cycle (total offered 1.0 > the 8/9
+  // deliverable): "with QoS, all inputs get at least their reserved rate of
+  // bandwidth during congestion". The guarantee binds at
+  // min(offered, reserved fraction of the accepted total) — the 40 % flow
+  // only offers 0.125 here and must receive all of it, while the 5 % flows
+  // must still receive their full entitlement.
+  const auto r =
+      sw::run_experiment(fig4_config(), fig4_workload(0.125), 5000, 100000);
+  EXPECT_NEAR(r.total_accepted_rate, 8.0 / 9.0, 0.01);
+  for (std::size_t i = 0; i < r.flows.size(); ++i) {
+    const double entitled = std::min(
+        r.flows[i].offered_rate, kFig4Rates[i] * r.total_accepted_rate);
+    EXPECT_GE(r.flows[i].accepted_rate, entitled * 0.93) << "flow " << i;
+  }
+}
+
+TEST(Fig4Integration, SsvcSharesProportionalAtDeepSaturation) {
+  // Push injection well past every reservation (0.5 flits/input/cycle):
+  // accepted rates settle at the reserved proportions 40/20/10/10/5/5/5/5.
+  const auto r =
+      sw::run_experiment(fig4_config(), fig4_workload(0.5), 5000, 100000);
+  EXPECT_NEAR(r.total_accepted_rate, 8.0 / 9.0, 0.01);
+  for (std::size_t i = 0; i < r.flows.size(); ++i) {
+    EXPECT_GE(r.flows[i].accepted_rate,
+              kFig4Rates[i] * r.total_accepted_rate * 0.9)
+        << "flow " << i;
+  }
+  // Ordering: the 40 % flow gets ~2x the 20 % flow, ~8x the 5 % flows.
+  EXPECT_NEAR(r.flows[0].accepted_rate / r.flows[1].accepted_rate, 2.0, 0.35);
+  EXPECT_NEAR(r.flows[1].accepted_rate / r.flows[4].accepted_rate, 4.0, 0.9);
+}
+
+TEST(Fig4Integration, BelowSaturationEveryFlowGetsItsOffer) {
+  // At injection 0.05 flits/input/cycle (total 0.4 < capacity) both LRG and
+  // SSVC deliver the full offered load — the left half of Fig. 4.
+  for (ArbitrationMode mode :
+       {ArbitrationMode::SsvcQos, ArbitrationMode::Baseline}) {
+    SwitchConfig c = fig4_config();
+    c.mode = mode;
+    const auto r = sw::run_experiment(c, fig4_workload(0.05), 3000, 50000);
+    for (const auto& f : r.flows) {
+      EXPECT_NEAR(f.accepted_rate, f.offered_rate, 0.005);
+      EXPECT_NEAR(f.accepted_rate, 0.05, 0.01);
+    }
+  }
+}
+
+// ------------------------------------------------------------- Fig. 5 ----
+
+/// Eight GB flows with spread allocations under bursty congestion (the
+/// Fig. 1 radix-8/64-bit-bus configuration: 3 significant auxVC bits);
+/// returns mean latency per flow.
+std::vector<double> fig5_latencies(ArbitrationMode mode, arb::Kind baseline,
+                                   core::CounterPolicy policy) {
+  const std::vector<double> rates = {0.01, 0.02, 0.04, 0.05,
+                                     0.08, 0.10, 0.20, 0.40};
+  Workload w(8);
+  for (InputId i = 0; i < 8; ++i) {
+    const double offered = rates[i] * 2.0;  // congested
+    const double peak = std::max(0.4, offered * 2.0);
+    auto f = gb_flow(i, 0, rates[i], 8, offered, InjectKind::OnOff);
+    f.mean_on_cycles = 100;
+    f.mean_off_cycles = 100.0 * (peak / offered - 1.0);
+    w.add_flow(f);
+  }
+  SwitchConfig c;
+  c.radix = 8;
+  c.ssvc.level_bits = 3;
+  c.ssvc.lsb_bits = 6;
+  c.ssvc.vtick_shift = 2;
+  c.ssvc.policy = policy;
+  c.mode = mode;
+  c.baseline = baseline;
+  c.seed = 7;
+  const auto r = sw::run_experiment(c, std::move(w), 5000, 200000);
+  std::vector<double> lat;
+  for (const auto& f : r.flows) lat.push_back(f.mean_latency);
+  return lat;
+}
+
+double spread(const std::vector<double>& lat) {
+  double lo = lat[0], hi = lat[0];
+  for (double v : lat) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return hi - lo;
+}
+
+TEST(Fig5Integration, SsvcCutsLowAllocationLatencyVsOriginalVc) {
+  const auto vc = fig5_latencies(ArbitrationMode::Baseline,
+                                 arb::Kind::VirtualClock,
+                                 core::CounterPolicy::SubtractRealClock);
+  const auto ssvc = fig5_latencies(ArbitrationMode::SsvcQos, arb::Kind::Lrg,
+                                   core::CounterPolicy::SubtractRealClock);
+  // The 1 % and 2 % flows suffer under exact Virtual Clock; the coarse
+  // thermometer comparison + LRG tie-break rescues them (Fig. 5).
+  EXPECT_GT(vc[0], 3.0 * ssvc[0]);
+  EXPECT_GT(vc[1], 2.0 * ssvc[1]);
+  // ... at a mild cost to the largest allocation ("the decrease in latency
+  // for smaller allocations comes with a sacrifice").
+  EXPECT_GT(ssvc[7], vc[7] * 0.9);
+}
+
+TEST(Fig5Integration, HalveAndResetFurtherImproveLowAllocations) {
+  // §4.3: "halving or resetting the auxVC further decreased the latency for
+  // flows with very low allocations (< 5%), especially during bursty
+  // injection."
+  const auto sub = fig5_latencies(ArbitrationMode::SsvcQos, arb::Kind::Lrg,
+                                  core::CounterPolicy::SubtractRealClock);
+  const auto halve = fig5_latencies(ArbitrationMode::SsvcQos, arb::Kind::Lrg,
+                                    core::CounterPolicy::Halve);
+  const auto reset = fig5_latencies(ArbitrationMode::SsvcQos, arb::Kind::Lrg,
+                                    core::CounterPolicy::Reset);
+  EXPECT_LT(halve[0], sub[0]);
+  EXPECT_LT(reset[0], sub[0]);
+  EXPECT_LT(reset[1], sub[1]);
+}
+
+TEST(Fig5Integration, ResetPolicyHasLeastLatencyVariance) {
+  const auto vc = fig5_latencies(ArbitrationMode::Baseline,
+                                 arb::Kind::VirtualClock,
+                                 core::CounterPolicy::SubtractRealClock);
+  const auto sub = fig5_latencies(ArbitrationMode::SsvcQos, arb::Kind::Lrg,
+                                  core::CounterPolicy::SubtractRealClock);
+  const auto reset = fig5_latencies(ArbitrationMode::SsvcQos, arb::Kind::Lrg,
+                                    core::CounterPolicy::Reset);
+  // "the reset to zero method has the least variance in latency across
+  // bandwidth allocations."
+  EXPECT_LT(spread(reset), spread(vc));
+  EXPECT_LT(spread(reset), spread(sub));
+}
+
+// ------------------------------- behavioural vs circuit, in lock-step ----
+
+TEST(CircuitLockstep, BehavioralArbiterMatchesWiresUnderRandomTraffic) {
+  for (core::CounterPolicy policy :
+       {core::CounterPolicy::SubtractRealClock, core::CounterPolicy::Halve,
+        core::CounterPolicy::Reset}) {
+    core::SsvcParams params;
+    params.level_bits = 3;
+    params.lsb_bits = 6;
+    params.policy = policy;
+    auto alloc = core::OutputAllocation::none(8);
+    alloc.gb_rate = {0.2, 0.15, 0.15, 0.1, 0.1, 0.05, 0.05, 0.05};
+    alloc.gl_rate = 0.05;
+    alloc.gb_packet_len = 4;
+    core::OutputQosArbiter behavioral(8, params, alloc);
+
+    circuit::LaneLayout layout{.radix = 8, .bus_width = 128, .gb_lanes = 8,
+                               .has_gl_lane = true, .has_be_lane = true};
+    circuit::CircuitArbiter wires(layout);
+
+    Rng rng(policy == core::CounterPolicy::Halve ? 1u : 2u);
+    Cycle now = 0;
+    for (int step = 0; step < 20000; ++step) {
+      behavioral.advance_to(now);
+      std::vector<core::ClassRequest> reqs;
+      std::vector<circuit::CrosspointRequest> xreqs;
+      const bool gl_ok = behavioral.gl_tracker().eligible(now);
+      for (InputId i = 0; i < 8; ++i) {
+        switch (rng.below(4)) {
+          case 0:
+            break;
+          case 1:
+            reqs.push_back({i, TrafficClass::BestEffort, 1});
+            xreqs.push_back({i, circuit::RequestKind::BestEffort, 0});
+            break;
+          case 2:
+            reqs.push_back({i, TrafficClass::GuaranteedBandwidth, 4});
+            xreqs.push_back(
+                {i, circuit::RequestKind::Gb, behavioral.gb_level(i)});
+            break;
+          case 3:
+            // The policer sits above the circuit: a stalled GL request is
+            // simply not asserted onto the wires.
+            reqs.push_back({i, TrafficClass::GuaranteedLatency, 1});
+            if (gl_ok) xreqs.push_back({i, circuit::RequestKind::Gl, 0});
+            break;
+        }
+      }
+      if (reqs.empty()) {
+        ++now;
+        continue;
+      }
+      const InputId w = behavioral.pick(reqs, now);
+      if (!xreqs.empty()) {
+        const auto trace = wires.arbitrate(xreqs, behavioral.lrg());
+        ASSERT_EQ(trace.winner, w) << "policy " << to_string(policy)
+                                   << " step " << step;
+      } else {
+        ASSERT_EQ(w, kNoPort);
+      }
+      if (w != kNoPort) {
+        behavioral.on_grant(w, behavioral.picked_class(),
+                            behavioral.picked_class() ==
+                                    TrafficClass::GuaranteedBandwidth
+                                ? 4u
+                                : 1u,
+                            now);
+      }
+      now += 1 + rng.below(4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssq

@@ -1,0 +1,184 @@
+// Tests for src/qosmath: Eq. (1) bound arithmetic, Eqs. (2)-(3) burst
+// budgets, the §4.4 lane-budget rules, and Vtick quantisation analysis.
+#include <gtest/gtest.h>
+
+#include "core/params.hpp"
+#include "qosmath/admission.hpp"
+#include "qosmath/gl_bound.hpp"
+#include "qosmath/lanes.hpp"
+#include "qosmath/vtick_analysis.hpp"
+
+namespace ssq::qosmath {
+namespace {
+
+// ------------------------------------------------------------ Eq. (1) ----
+
+TEST(GlBoundTest, Eq1Arithmetic) {
+  // tau = l_max + N * (b + b/l_min)
+  GlBoundParams p{.l_max = 8, .l_min = 1, .n_gl = 1, .buffer_flits = 4};
+  EXPECT_DOUBLE_EQ(gl_wait_bound(p), 8.0 + 1.0 * (4.0 + 4.0));
+  p = {.l_max = 8, .l_min = 2, .n_gl = 8, .buffer_flits = 16};
+  EXPECT_DOUBLE_EQ(gl_wait_bound(p), 8.0 + 8.0 * (16.0 + 8.0));
+}
+
+TEST(GlBoundTest, BoundGrowsWithEveryParameter) {
+  const GlBoundParams base{.l_max = 4, .l_min = 2, .n_gl = 2,
+                           .buffer_flits = 8};
+  const double t0 = gl_wait_bound(base);
+  GlBoundParams p = base;
+  p.l_max = 8;
+  EXPECT_GT(gl_wait_bound(p), t0);
+  p = base;
+  p.n_gl = 4;
+  EXPECT_GT(gl_wait_bound(p), t0);
+  p = base;
+  p.buffer_flits = 16;
+  EXPECT_GT(gl_wait_bound(p), t0);
+  // Smaller l_min means more arbitration cycles per buffered flit.
+  p = base;
+  p.l_min = 1;
+  EXPECT_GT(gl_wait_bound(p), t0);
+}
+
+// ------------------------------------------------------- Eqs. (2)-(3) ----
+
+TEST(GlBurstTest, SingleInputBudget) {
+  // One input, bound L, packets of l_max: sigma_1 = (L - l)/( (l+1)*1 ).
+  const auto sigma = gl_burst_budget({100.0}, 8);
+  ASSERT_EQ(sigma.size(), 1u);
+  EXPECT_DOUBLE_EQ(sigma[0], (100.0 - 8.0) / 9.0);
+}
+
+TEST(GlBurstTest, EightEqualInputsShareTheBudget) {
+  // The paper's worked example shape: 8 inputs, equal bounds, 1-flit
+  // packets: each gets (L-1)/(2*8) packets.
+  const std::vector<double> L(8, 100.0);
+  const auto sigma = gl_burst_budget(L, 1);
+  ASSERT_EQ(sigma.size(), 8u);
+  for (double s : sigma) EXPECT_DOUBLE_EQ(s, 99.0 / 16.0);
+}
+
+TEST(GlBurstTest, LooserConstraintsEarnLargerBursts) {
+  const auto sigma = gl_burst_budget({50.0, 100.0, 200.0}, 4);
+  ASSERT_EQ(sigma.size(), 3u);
+  EXPECT_LT(sigma[0], sigma[1]);
+  EXPECT_LT(sigma[1], sigma[2]);
+  // Eq. (2): (50-4)/(5*3).
+  EXPECT_DOUBLE_EQ(sigma[0], 46.0 / 15.0);
+  // Eq. (3), n=2: sigma_1 + (100-50)/(5*(3-2)).
+  EXPECT_DOUBLE_EQ(sigma[1], sigma[0] + 50.0 / 5.0);
+  // n=3: competitor count floors at 1.
+  EXPECT_DOUBLE_EQ(sigma[2], sigma[1] + 100.0 / 5.0);
+}
+
+TEST(GlBurstTest, ConstraintTighterThanOnePacketFloorsAtZero) {
+  const auto sigma = gl_burst_budget({2.0}, 8);
+  EXPECT_DOUBLE_EQ(sigma[0], 0.0);
+}
+
+// --------------------------------------------------------- Admission ----
+
+TEST(GlAdmissionTest, FeasibleWhenDeadlinesExceedEq1Bound) {
+  // tau for 2 senders, l_max 8, l_min 2, b 4: 8 + 2*(4+2) = 20.
+  const GlBoundParams p{.l_max = 8, .l_min = 2, .n_gl = 0, .buffer_flits = 4};
+  const auto ok = admit_gl_senders({{0, 50.0}, {3, 100.0}}, p);
+  EXPECT_TRUE(ok.feasible);
+  const auto bad = admit_gl_senders({{0, 15.0}, {3, 100.0}}, p);
+  EXPECT_FALSE(bad.feasible);
+}
+
+TEST(GlAdmissionTest, BudgetsMapBackToSenderOrder) {
+  const GlBoundParams p{.l_max = 4, .l_min = 4, .n_gl = 0, .buffer_flits = 8};
+  // Register out of deadline order; budgets must land on the right senders.
+  const auto r = admit_gl_senders({{7, 200.0}, {2, 50.0}, {5, 100.0}}, p);
+  ASSERT_EQ(r.burst_packets.size(), 3u);
+  // Tightest (50, sender 2): sigma1 = (50-4)/(5*3) = 3.06 -> 3 packets.
+  EXPECT_EQ(r.burst_packets[1], 3u);
+  // Next (100, sender 5): 3.06 + 50/(5*1) = 13.06 -> 13.
+  EXPECT_EQ(r.burst_packets[2], 13u);
+  // Loosest (200, sender 7): 13.06 + 100/5 = 33.06 -> 33.
+  EXPECT_EQ(r.burst_packets[0], 33u);
+}
+
+TEST(GlAdmissionTest, SubPacketDeadlineYieldsZeroBudget) {
+  const GlBoundParams p{.l_max = 8, .l_min = 8, .n_gl = 0, .buffer_flits = 8};
+  const auto r = admit_gl_senders({{0, 5.0}}, p);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.burst_packets[0], 0u);
+}
+
+// ------------------------------------------------------------- Lanes ----
+
+TEST(LanesTest, Sec44LaneArithmetic) {
+  EXPECT_EQ(num_lanes(128, 8), 16u);
+  EXPECT_EQ(num_lanes(128, 16), 8u);
+  EXPECT_EQ(num_lanes(128, 32), 4u);
+  EXPECT_EQ(num_lanes(128, 64), 2u);
+  EXPECT_EQ(num_lanes(256, 64), 4u);
+}
+
+TEST(LanesTest, PaperScalabilityClaims) {
+  // "For a radix-8, radix-16 and radix-32 switch, a 128-bit bus is
+  // sufficient. For a radix-64 switch, a 256-bit bus is required."
+  for (std::uint32_t radix : {8u, 16u, 32u}) {
+    EXPECT_TRUE(supports_classes(128, radix, kMinLanesForThreeClasses));
+  }
+  EXPECT_FALSE(supports_classes(128, 64, kMinLanesForThreeClasses));
+  EXPECT_TRUE(supports_classes(256, 64, kMinLanesForThreeClasses));
+  EXPECT_EQ(min_bus_width(64, 3), 192u);
+}
+
+TEST(LanesTest, GbLanesPowerOfTwo) {
+  // 128-bit radix-8 with GL+BE: 14 lanes left -> 8 usable (power of two).
+  EXPECT_EQ(gb_lanes_available(128, 8, true, true), 8u);
+  // GB-only (Fig. 4): all 16 lanes.
+  EXPECT_EQ(gb_lanes_available(128, 8, false, false), 16u);
+  // 256-bit radix-64: 4 lanes, minus GL+BE -> 2.
+  EXPECT_EQ(gb_lanes_available(256, 64, true, true), 2u);
+  // Bus too narrow: 0.
+  EXPECT_EQ(gb_lanes_available(128, 64, true, true), 0u);
+}
+
+// ---------------------------------------------------- Vtick analysis ----
+
+TEST(VtickAnalysisTest, ErrorSmallForPaperConfig) {
+  // Fig. 4 rates (5 %..40 %, 8-flit packets), unscaled register wide enough
+  // to hold Vtick 180: quantisation error stays within the cycle-resolution
+  // budget (0.5 cycles on a 22.5-cycle Vtick ~ 2.3 %).
+  core::SsvcParams p;
+  p.vtick_bits = 8;
+  p.vtick_shift = 0;
+  const double worst = max_vtick_error(p, 0.05, 0.40, 8);
+  EXPECT_LT(worst, 0.025);
+  // The coarse shift-2 prescale costs up to 4x that.
+  p.vtick_shift = 2;
+  EXPECT_LT(max_vtick_error(p, 0.05, 0.40, 8), 0.1);
+}
+
+TEST(VtickAnalysisTest, ErrorFieldsConsistent) {
+  core::SsvcParams p;
+  p.vtick_bits = 8;
+  p.vtick_shift = 0;
+  const auto e = vtick_error(p, 0.45, 8);  // ideal Vtick = 9/0.45 = 20
+  EXPECT_DOUBLE_EQ(e.ideal_vtick, 20.0);
+  EXPECT_EQ(e.quantized, 20u);
+  EXPECT_DOUBLE_EQ(e.effective_rate, 0.45);
+  EXPECT_DOUBLE_EQ(e.relative_error, 0.0);
+}
+
+TEST(VtickAnalysisTest, NarrowRegisterSaturatesForTinyRates) {
+  // 1 % of 8-flit traffic needs Vtick 900 — an unscaled 8-bit register
+  // saturates at 255 and misrepresents the rate by >2.5x.
+  core::SsvcParams p;
+  p.vtick_bits = 8;
+  p.vtick_shift = 0;
+  const auto e = vtick_error(p, 0.01, 8);
+  EXPECT_EQ(e.quantized, 255u);
+  EXPECT_GT(e.relative_error, 2.0);
+  // The shift-2 prescale brings it back within the 4-cycle resolution.
+  p.vtick_shift = 2;
+  EXPECT_LT(vtick_error(p, 0.01, 8).relative_error, 0.01);
+}
+
+}  // namespace
+}  // namespace ssq::qosmath

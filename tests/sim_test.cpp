@@ -1,0 +1,152 @@
+// Tests for src/sim: types, contracts, PRNG statistical behaviour and
+// determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "sim/contracts.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace ssq {
+namespace {
+
+TEST(TrafficClassTest, PriorityOrdering) {
+  EXPECT_TRUE(higher_priority(TrafficClass::GuaranteedLatency,
+                              TrafficClass::GuaranteedBandwidth));
+  EXPECT_TRUE(higher_priority(TrafficClass::GuaranteedBandwidth,
+                              TrafficClass::BestEffort));
+  EXPECT_TRUE(higher_priority(TrafficClass::GuaranteedLatency,
+                              TrafficClass::BestEffort));
+  EXPECT_FALSE(higher_priority(TrafficClass::BestEffort,
+                               TrafficClass::GuaranteedLatency));
+  EXPECT_FALSE(higher_priority(TrafficClass::BestEffort,
+                               TrafficClass::BestEffort));
+}
+
+TEST(TrafficClassTest, Names) {
+  EXPECT_EQ(to_string(TrafficClass::BestEffort), "BE");
+  EXPECT_EQ(to_string(TrafficClass::GuaranteedBandwidth), "GB");
+  EXPECT_EQ(to_string(TrafficClass::GuaranteedLatency), "GL");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  constexpr int kN = 200000;
+  for (double p : {0.05, 0.3, 0.9}) {
+    int hits = 0;
+    for (int i = 0; i < kN; ++i) hits += rng.bernoulli(p) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / kN, p, 0.01) << "p=" << p;
+  }
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BelowIsUniformAndBounded) {
+  Rng rng(13);
+  constexpr std::uint64_t kBound = 7;
+  std::vector<int> counts(kBound, 0);
+  constexpr int kN = 70000;
+  for (int i = 0; i < kN; ++i) {
+    const std::uint64_t v = rng.below(kBound);
+    ASSERT_LT(v, kBound);
+    ++counts[v];
+  }
+  for (auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kN / static_cast<double>(kBound),
+                kN * 0.01);
+  }
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(3, 5);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(23);
+  const double p = 0.25;
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.geometric(p));
+  // Mean failures before success = (1-p)/p = 3.
+  EXPECT_NEAR(sum / kN, 3.0, 0.1);
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+  Rng parent(99);
+  Rng c1 = parent.fork(0);
+  Rng c2 = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1() == c2()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(ContractsDeathTest, ExpectAbortsWithLocation) {
+  EXPECT_DEATH(SSQ_EXPECT(1 == 2), "precondition failed");
+  EXPECT_DEATH(SSQ_ENSURE(false), "invariant failed");
+}
+
+TEST(ContractsTest, PassingChecksAreSilent) {
+  SSQ_EXPECT(true);
+  SSQ_ENSURE(2 + 2 == 4);
+}
+
+TEST(SplitMixTest, KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  // Regression pin: documented splitmix64 output for seed 0.
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);
+}
+
+}  // namespace
+}  // namespace ssq

@@ -1,0 +1,283 @@
+// Tests for src/stats: streaming moments, histograms/percentiles, latency
+// recording, throughput windows, table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/rng.hpp"
+#include "stats/ascii_plot.hpp"
+#include "stats/histogram.hpp"
+#include "stats/latency.hpp"
+#include "stats/streaming.hpp"
+#include "stats/table.hpp"
+#include "stats/timeseries.hpp"
+#include "stats/throughput.hpp"
+
+namespace ssq::stats {
+namespace {
+
+TEST(StreamingTest, EmptyIsSane) {
+  Streaming s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(StreamingTest, KnownMoments) {
+  Streaming s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook data set
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingTest, SampleVarianceUsesNMinusOne) {
+  Streaming s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+}
+
+TEST(StreamingTest, MergeMatchesSinglePass) {
+  Rng rng(5);
+  Streaming all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 100.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingTest, MergeWithEmpty) {
+  Streaming a, b;
+  a.add(1.0);
+  a.merge(b);  // merging empty is a no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // merging into empty copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(HistogramTest, BinningAndOverflow) {
+  Histogram h(10.0, 4);  // bins [0,10) [10,20) [20,30) [30,40) + overflow
+  h.add(0.0);
+  h.add(9.99);
+  h.add(10.0);
+  h.add(35.0);
+  h.add(40.0);    // overflow
+  h.add(1000.0);  // overflow
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(2), 0u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+  EXPECT_EQ(h.overflow_count(), 2u);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 1000.0);
+}
+
+TEST(HistogramTest, PercentileInterpolates) {
+  Histogram h(1.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.9), 90.0, 1.0);
+  EXPECT_EQ(h.percentile(0.0), 0.0);
+}
+
+TEST(HistogramTest, PercentileFallsBackToMaxInOverflow) {
+  Histogram h(1.0, 2);
+  h.add(100.0);
+  h.add(200.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 200.0);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a(2.0, 8), b(2.0, 8);
+  a.add(1.0);
+  b.add(1.5);
+  b.add(15.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.bin_count(0), 2u);
+  EXPECT_DOUBLE_EQ(a.max_seen(), 15.0);
+}
+
+TEST(LatencyRecorderTest, PerFlowAndPerClass) {
+  LatencyRecorder rec;
+  const auto f0 = rec.register_flow(TrafficClass::GuaranteedBandwidth);
+  const auto f1 = rec.register_flow(TrafficClass::BestEffort);
+  rec.record(f0, 10.0);
+  rec.record(f0, 20.0);
+  rec.record(f1, 100.0);
+  EXPECT_EQ(rec.num_flows(), 2u);
+  EXPECT_DOUBLE_EQ(rec.flow_summary(f0).mean(), 15.0);
+  EXPECT_DOUBLE_EQ(rec.flow_summary(f1).mean(), 100.0);
+  EXPECT_DOUBLE_EQ(
+      rec.class_summary(TrafficClass::GuaranteedBandwidth).mean(), 15.0);
+  EXPECT_DOUBLE_EQ(rec.class_summary(TrafficClass::BestEffort).mean(), 100.0);
+  EXPECT_EQ(rec.class_summary(TrafficClass::GuaranteedLatency).count(), 0u);
+  EXPECT_EQ(rec.overall().count(), 3u);
+  EXPECT_EQ(rec.flow_class(f1), TrafficClass::BestEffort);
+}
+
+TEST(LatencyRecorderTest, ResetClearsEverything) {
+  LatencyRecorder rec;
+  const auto f = rec.register_flow(TrafficClass::GuaranteedLatency);
+  rec.record(f, 5.0);
+  rec.reset();
+  EXPECT_EQ(rec.flow_summary(f).count(), 0u);
+  EXPECT_EQ(rec.overall().count(), 0u);
+  EXPECT_EQ(rec.flow_histogram(f).total(), 0u);
+}
+
+TEST(ThroughputMeterTest, WindowedRates) {
+  ThroughputMeter m(2);
+  m.open_window(100);
+  // Flits before the window are ignored.
+  m.record_flit(0, 50);
+  for (Cycle c = 100; c < 200; ++c) m.record_flit(0, c);
+  for (Cycle c = 100; c < 150; ++c) m.record_flit(1, c);
+  m.close_window(200);
+  EXPECT_EQ(m.window_cycles(), 100u);
+  EXPECT_DOUBLE_EQ(m.rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.rate(1), 0.5);
+  EXPECT_DOUBLE_EQ(m.total_rate(), 1.5);
+}
+
+TEST(ThroughputMeterTest, ReopenResetsCounts) {
+  ThroughputMeter m(1);
+  m.open_window(0);
+  m.record_flit(0, 5);
+  m.close_window(10);
+  EXPECT_EQ(m.flits(0), 1u);
+  m.open_window(10);
+  m.close_window(20);
+  EXPECT_EQ(m.flits(0), 0u);
+}
+
+TEST(RateSeriesTest, WindowsCloseOnRoll) {
+  RateSeries rs(2, 10);
+  for (Cycle c = 0; c < 10; ++c) rs.record_flit(0, c);  // 1.0 flits/cycle
+  rs.record_flit(1, 5);
+  rs.roll_to(20);  // closes windows [0,10) and [10,20)
+  ASSERT_EQ(rs.num_windows(), 2u);
+  EXPECT_DOUBLE_EQ(rs.series(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(rs.series(1)[0], 0.1);
+  EXPECT_DOUBLE_EQ(rs.series(0)[1], 0.0);
+}
+
+TEST(RateSeriesTest, RecordRollsAutomatically) {
+  RateSeries rs(1, 4);
+  rs.record_flit(0, 0);
+  rs.record_flit(0, 9);  // crossing two boundaries closes two windows
+  ASSERT_EQ(rs.num_windows(), 2u);
+  EXPECT_DOUBLE_EQ(rs.series(0)[0], 0.25);
+  EXPECT_DOUBLE_EQ(rs.series(0)[1], 0.0);
+}
+
+TEST(RateSeriesTest, ConvergedAtFindsStableRun) {
+  RateSeries rs(1, 1);
+  // Rates: 0, 0, 0.9, 1.0, 1.1, 1.0, 0  (target 1.0 +/- 0.15, hold 3)
+  const double rates[] = {0, 0, 0.9, 1.0, 1.1, 1.0, 0};
+  Cycle now = 0;
+  for (double r : rates) {
+    if (r > 0.5) rs.record_flit(0, now);  // 1 flit per 1-cycle window ~ rate
+    ++now;
+    rs.roll_to(now);
+  }
+  // With 1-cycle windows the recorded rates are 0/0/1/1/1/1/0.
+  EXPECT_EQ(rs.converged_at(0, 1.0, 0.15, 0, 3), 2u);
+  EXPECT_EQ(rs.converged_at(0, 1.0, 0.15, 5, 3), rs.num_windows());
+}
+
+TEST(ThroughputMeterTest, UnrecordRetractsGoodput) {
+  ThroughputMeter m(2);
+  m.open_window(0);
+  for (Cycle c = 0; c < 10; ++c) m.record_flit(0, c);
+  m.unrecord_flits(0, 4);   // aborted transfer
+  m.unrecord_flits(1, 99);  // nothing recorded: clamps at zero
+  m.close_window(10);
+  EXPECT_EQ(m.flits(0), 6u);
+  EXPECT_EQ(m.flits(1), 0u);
+  EXPECT_DOUBLE_EQ(m.total_rate(), 0.6);
+}
+
+TEST(AsciiPlotTest, RendersSeriesAndLegend) {
+  AsciiPlot plot("demo", 8);
+  plot.add_series("up", {1.0, 2.0, 3.0, 4.0}, 'u');
+  plot.add_series("down", {4.0, 3.0, 2.0, 1.0}, 'd');
+  plot.x_labels("left", "right");
+  std::ostringstream os;
+  plot.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("-- demo --"), std::string::npos);
+  EXPECT_NE(out.find('u'), std::string::npos);
+  EXPECT_NE(out.find('d'), std::string::npos);
+  EXPECT_NE(out.find("[u] up"), std::string::npos);
+  EXPECT_NE(out.find("left"), std::string::npos);
+  EXPECT_NE(out.find("right"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, LogScaleSpansDecades) {
+  AsciiPlot plot("log", 8);
+  plot.add_series("s", {1.0, 10.0, 100.0, 1000.0}, '*');
+  std::ostringstream os;
+  plot.render(os, /*log_y=*/true);
+  // Top label ~1000, bottom ~1.
+  EXPECT_NE(os.str().find("1000.0"), std::string::npos);
+  EXPECT_NE(os.str().find("(log y)"), std::string::npos);
+}
+
+TEST(AsciiPlotDeathTest, LogScaleRejectsNonPositive) {
+  AsciiPlot plot("bad", 8);
+  plot.add_series("s", {0.0, 1.0}, '*');
+  std::ostringstream os;
+  EXPECT_DEATH(plot.render(os, true), "log-y");
+}
+
+TEST(TableTest, AsciiRendering) {
+  Table t("demo");
+  t.header({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 1);
+  t.row().cell("b").cell(std::uint64_t{42});
+  std::ostringstream os;
+  t.render_ascii(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(TableTest, CsvQuoting) {
+  Table t;
+  t.header({"a", "b"});
+  t.row().cell("x,y").cell("he said \"hi\"");
+  std::ostringstream os;
+  t.render_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, WantCsvFlag) {
+  const char* argv1[] = {"prog", "--csv"};
+  const char* argv2[] = {"prog"};
+  EXPECT_TRUE(want_csv(2, const_cast<char**>(argv1)));
+  EXPECT_FALSE(want_csv(1, const_cast<char**>(argv2)));
+}
+
+}  // namespace
+}  // namespace ssq::stats

@@ -1,0 +1,209 @@
+// ssq_sim — standalone command-line driver for the Swizzle Switch QoS
+// simulator. Runs a workload description file (see src/traffic/workload_io)
+// through a configured switch and prints per-flow results.
+//
+//   ssq_sim <workload-file> [options]
+//
+// Options:
+//   --mode=ssvc | lrg | round_robin | age | tdm | wrr | dwrr | wfq |
+//          virtual_clock | multilevel | fixed_priority
+//                         arbitration (default ssvc)
+//   --policy=subtract_real_clock | halve | reset
+//                         SSVC counter management (default subtract)
+//   --level-bits=K --lsb-bits=K --vtick-bits=K --vtick-shift=K
+//                         SSVC counter geometry (defaults 4/5/8/2)
+//   --warmup=N --measure=N   cycles (defaults 5000 / 100000)
+//   --seed=N               RNG seed (default 1)
+//   --arb-cycles=N         arbitration cycles per grant (default 1)
+//   --chaining             enable Packet Chaining (SSVC mode only)
+//   --gsf=FRAME,BARRIER    enable GSF-style source regulation
+//   --from-creation        measure latency from packet creation
+//   --csv                  machine-readable output
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+#include <string_view>
+
+#include "stats/table.hpp"
+#include "switch/simulator.hpp"
+#include "traffic/workload_io.hpp"
+
+namespace {
+
+using namespace ssq;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <workload-file> [--mode=ssvc|lrg|...] "
+               "[--policy=...] [--warmup=N] [--measure=N] [--seed=N] "
+               "[--csv] (see file header for the full list)\n",
+               argv0);
+  std::exit(2);
+}
+
+/// Returns the value of `--key=value`, or nullopt if `arg` is a different
+/// option.
+std::optional<std::string> opt_value(std::string_view arg,
+                                     std::string_view key) {
+  if (arg.substr(0, key.size()) != key) return std::nullopt;
+  if (arg.size() == key.size()) return std::string{};
+  if (arg[key.size()] != '=') return std::nullopt;
+  return std::string(arg.substr(key.size() + 1));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+
+  std::string workload_path;
+  sw::SwitchConfig config;
+  config.ssvc.level_bits = 4;
+  config.ssvc.lsb_bits = 5;
+  config.ssvc.vtick_shift = 2;
+  Cycle warmup = 5000;
+  Cycle measure = 100000;
+  bool csv = false;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string_view arg = argv[a];
+    if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--chaining") {
+      config.packet_chaining = true;
+    } else if (arg == "--from-creation") {
+      config.latency_from_creation = true;
+    } else if (auto v = opt_value(arg, "--mode")) {
+      if (*v == "ssvc") {
+        config.mode = sw::ArbitrationMode::SsvcQos;
+      } else {
+        config.mode = sw::ArbitrationMode::Baseline;
+        config.baseline = arb::parse_kind(*v);
+      }
+    } else if (auto v2 = opt_value(arg, "--policy")) {
+      if (*v2 == "subtract_real_clock") {
+        config.ssvc.policy = core::CounterPolicy::SubtractRealClock;
+      } else if (*v2 == "halve") {
+        config.ssvc.policy = core::CounterPolicy::Halve;
+      } else if (*v2 == "reset") {
+        config.ssvc.policy = core::CounterPolicy::Reset;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (auto v3 = opt_value(arg, "--level-bits")) {
+      config.ssvc.level_bits = static_cast<std::uint32_t>(std::atoi(v3->c_str()));
+    } else if (auto v4 = opt_value(arg, "--lsb-bits")) {
+      config.ssvc.lsb_bits = static_cast<std::uint32_t>(std::atoi(v4->c_str()));
+    } else if (auto v5 = opt_value(arg, "--vtick-bits")) {
+      config.ssvc.vtick_bits = static_cast<std::uint32_t>(std::atoi(v5->c_str()));
+    } else if (auto v6 = opt_value(arg, "--vtick-shift")) {
+      config.ssvc.vtick_shift = static_cast<std::uint32_t>(std::atoi(v6->c_str()));
+    } else if (auto v7 = opt_value(arg, "--warmup")) {
+      warmup = static_cast<Cycle>(std::atoll(v7->c_str()));
+    } else if (auto v8 = opt_value(arg, "--measure")) {
+      measure = static_cast<Cycle>(std::atoll(v8->c_str()));
+    } else if (auto v9 = opt_value(arg, "--seed")) {
+      config.seed = static_cast<std::uint64_t>(std::atoll(v9->c_str()));
+    } else if (auto v10 = opt_value(arg, "--arb-cycles")) {
+      config.arbitration_cycles =
+          static_cast<std::uint32_t>(std::atoi(v10->c_str()));
+    } else if (auto v11 = opt_value(arg, "--gsf")) {
+      config.gsf.enabled = true;
+      char* end = nullptr;
+      config.gsf.frame_cycles = std::strtoull(v11->c_str(), &end, 10);
+      if (end == v11->c_str()) usage(argv[0]);
+      if (*end == ',') {
+        config.gsf.barrier_cycles = std::strtoull(end + 1, nullptr, 10);
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else if (workload_path.empty()) {
+      workload_path = std::string(arg);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (workload_path.empty()) usage(argv[0]);
+
+  auto workload = traffic::load_workload(workload_path);
+  config.radix = workload.radix();
+
+  const std::string mode_name =
+      config.mode == sw::ArbitrationMode::SsvcQos
+          ? std::string("ssvc/") +
+                core::to_string(config.ssvc.policy)
+          : std::string(arb::kind_name(config.baseline));
+  if (!csv) {
+    std::cout << "ssq_sim: " << workload_path << " | radix "
+              << config.radix << " | mode " << mode_name << " | warmup "
+              << warmup << " | measure " << measure << " | seed "
+              << config.seed << "\n\n";
+  }
+
+  // Run manually so per-channel usage stays accessible afterwards.
+  const auto radix = config.radix;
+  sw::CrossbarSwitch sim(config, std::move(workload));
+  sim.warmup(warmup);
+  std::vector<std::uint64_t> created_at_open;
+  for (FlowId f = 0; f < sim.workload().num_flows(); ++f) {
+    created_at_open.push_back(sim.created_packets(f));
+  }
+  sim.measure(measure);
+  auto r = sw::summarize(sim);
+  for (FlowId f = 0; f < sim.workload().num_flows(); ++f) {
+    const auto created = sim.created_packets(f) - created_at_open[f];
+    r.flows[f].offered_rate =
+        static_cast<double>(created) *
+        static_cast<double>(sim.workload().flow(f).mean_len()) /
+        static_cast<double>(r.measured_cycles);
+  }
+
+  stats::Table t("per-flow results (rates in flits/cycle, latency in "
+                 "cycles/packet)");
+  t.header({"flow", "src", "dst", "class", "reserved", "offered", "accepted",
+            "mean_lat", "max_lat", "mean_wait", "max_wait", "packets"});
+  for (const auto& f : r.flows) {
+    t.row()
+        .cell(static_cast<std::uint64_t>(f.flow))
+        .cell(static_cast<std::uint64_t>(f.src))
+        .cell(static_cast<std::uint64_t>(f.dst))
+        .cell(std::string(to_string(f.cls)))
+        .cell(f.reserved_rate, 3)
+        .cell(f.offered_rate, 4)
+        .cell(f.accepted_rate, 4)
+        .cell(f.mean_latency, 1)
+        .cell(f.max_latency, 0)
+        .cell(f.mean_wait, 1)
+        .cell(f.max_wait, 0)
+        .cell(f.delivered_packets);
+  }
+  t.render(std::cout, csv);
+
+  stats::Table ch("per-output channel occupancy (fractions of measured "
+                  "cycles)");
+  ch.header({"output", "arbitration", "transfer", "idle"});
+  for (OutputId o = 0; o < radix; ++o) {
+    const auto u = sim.channel_usage(o);
+    if (u.arbitration_cycles == 0 && u.transfer_cycles == 0) continue;
+    const double cycles = static_cast<double>(r.measured_cycles);
+    ch.row()
+        .cell(static_cast<std::uint64_t>(o))
+        .cell(static_cast<double>(u.arbitration_cycles) / cycles, 4)
+        .cell(static_cast<double>(u.transfer_cycles) / cycles, 4)
+        .cell(1.0 -
+                  static_cast<double>(u.arbitration_cycles +
+                                      u.transfer_cycles) /
+                      cycles,
+              4);
+  }
+  ch.render(std::cout, csv);
+  if (!csv) {
+    std::cout << "total accepted: " << r.total_accepted_rate
+              << " flits/cycle over " << r.measured_cycles << " cycles\n";
+  }
+  return 0;
+}
