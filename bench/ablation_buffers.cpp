@@ -19,7 +19,7 @@ namespace {
 
 using namespace ssq;
 
-void gl_depth_sweep(bool csv) {
+void gl_depth_sweep(bench::BenchReport& report) {
   stats::Table t("GL buffer depth b vs Eq. (1) bound and measured worst "
                  "wait (4 compliant GL senders, saturated GB background)");
   t.header({"b_flits", "eq1_bound", "measured_max_wait", "mean_wait"});
@@ -55,10 +55,10 @@ void gl_depth_sweep(bool csv) {
         .cell(max_wait, 1)
         .cell(n ? sum / static_cast<double>(n) : 0.0, 2);
   }
-  t.render(std::cout, csv);
+  report.table(t);
 }
 
-void gb_depth_sweep(bool csv) {
+void gb_depth_sweep(bench::BenchReport& report) {
   stats::Table t("GB crosspoint-buffer depth vs throughput and latency "
                  "(Fig. 4 workload, bursty on/off injection at saturation)");
   t.header({"gb_flits_per_out", "total_accepted", "mean_latency",
@@ -90,17 +90,17 @@ void gb_depth_sweep(bool csv) {
         .cell(lat / 8.0, 1)
         .cell(sim.latency().flow_histogram(0).percentile(0.95), 1);
   }
-  t.render(std::cout, csv);
+  report.table(t);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = ssq::stats::want_csv(argc, argv);
+  ssq::bench::BenchReport report("ablation_buffers", argc, argv);
   std::cout << "Extension ablation: buffer depths (Table 1 budgets 4 flits "
                "per class; Fig. 4 used 16)\n\n";
-  gl_depth_sweep(csv);
-  gb_depth_sweep(csv);
+  gl_depth_sweep(report);
+  gb_depth_sweep(report);
   std::cout << "Deeper GL buffers raise the Eq. (1) bound linearly; deeper "
                "GB buffers absorb burstiness (throughput) until the channel "
                "saturates, after which they only add queueing latency.\n";

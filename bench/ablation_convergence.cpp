@@ -92,7 +92,7 @@ Outcome run(sw::ArbitrationMode mode, arb::Kind kind,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = ssq::stats::want_csv(argc, argv);
+  ssq::bench::BenchReport report("ablation_convergence", argc, argv);
   std::cout << "Extension ablation: bandwidth reconfiguration transient — "
                "a 40% flow joins a saturated output at cycle " << kJoin
             << "\n\n";
@@ -133,7 +133,7 @@ int main(int argc, char** argv) {
                                     : std::to_string(static_cast<long>(
                                           o.converge_cycles)));
   }
-  t.render(std::cout, csv);
+  report.table(t);
   std::cout
       << "Exact Virtual Clock exhibits the join burst the paper warns about "
          "(Sec. 2.2: a flow whose\nclock fell behind \"can starve other "

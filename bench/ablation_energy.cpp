@@ -14,6 +14,7 @@
 
 #include "arb/lrg.hpp"
 #include "circuit/circuit_arbiter.hpp"
+#include "common.hpp"
 #include "hw/energy_model.hpp"
 #include "sim/rng.hpp"
 #include "stats/streaming.hpp"
@@ -62,7 +63,7 @@ Measured measure(std::uint32_t radix, std::uint32_t gb_lanes, int trials) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = ssq::stats::want_csv(argc, argv);
+  ssq::bench::BenchReport report("ablation_energy", argc, argv);
   std::cout << "Extension ablation: arbitration energy vs GB lane count "
                "(bit-level circuit model, saturated random GB requests)\n\n";
 
@@ -81,7 +82,7 @@ int main(int argc, char** argv) {
           .cell(m.energy_pj, 2);
     }
   }
-  t.render(std::cout, csv);
+  report.table(t);
   std::cout << "1 gb_lane = pure LRG arbitration. Accuracy grows with lanes "
                "(ablation_granularity); so does the discharged-wire energy "
                "of every arbitration.\n";

@@ -62,7 +62,7 @@ Outcome run(std::uint32_t level_bits, std::uint32_t lsb_bits) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = ssq::stats::want_csv(argc, argv);
+  ssq::bench::BenchReport report("ablation_granularity", argc, argv);
   std::cout << "Sec. 4.4 ablation: SSVC accuracy vs arbitration lanes and "
                "level granularity (saturated Fig. 4 workload)\n\n";
 
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
         .cell(o.worst_shortfall_pct, 2)
         .cell(o.latency_spread, 1);
   }
-  lanes.render(std::cout, csv);
+  report.table(lanes);
   std::cout << "Paper: \"The accuracy of the SSVC technique increases with "
                "more lanes of arbitration.\"\n\n";
 
@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
         .cell(o.worst_shortfall_pct, 2)
         .cell(o.latency_spread, 1);
   }
-  lsb.render(std::cout, csv);
+  report.table(lsb);
   std::cout << "Coarser levels trade bandwidth accuracy for latency "
                "fairness — the Fig. 5 effect in ablation form.\n";
   return 0;

@@ -26,7 +26,7 @@ using namespace ssq;
 const std::vector<double> kRates = {0.40, 0.20, 0.10, 0.10,
                                     0.05, 0.05, 0.05, 0.05};
 
-void table_a(bool csv) {
+void table_a(bench::BenchReport& report) {
   // Same saturated workload, reservations 40/20/10/10/5x4. Under [14] every
   // flow can only say "I am level 2"; under SSVC the Vticks encode rates.
   auto run = [](sw::ArbitrationMode mode, std::uint32_t arb_cycles) {
@@ -56,10 +56,10 @@ void table_a(bool csv) {
   };
   row("4-level [14] (all level 2)", legacy);
   row("SSVC (this paper)", ssvc);
-  t.render(std::cout, csv);
+  report.table(t);
 }
 
-void table_b(bool csv) {
+void table_b(bench::BenchReport& report) {
   // A saturated level-3 sender vs a level-1 sender under [14]; the same pair
   // expressed as two GB reservations under SSVC.
   traffic::Workload legacy_w(8);
@@ -98,10 +98,10 @@ void table_b(bool csv) {
       .cell(ssvc.flows[1].accepted_rate /
                 (ssvc.total_accepted_rate + 1e-12) * 100.0,
             1);
-  t.render(std::cout, csv);
+  report.table(t);
 }
 
-void table_c(bool csv) {
+void table_c(bench::BenchReport& report) {
   // Saturated single flow: the arbitration-cycle cost and its mitigations.
   stats::Table t("C. Arbitration occupancy: saturated 8-flit flow");
   t.header({"configuration", "ceiling", "measured"});
@@ -128,17 +128,17 @@ void table_c(bool csv) {
     t.row().cell(cs.name).cell(cs.ceiling, 3).cell(sim.throughput().rate(id),
                                                    3);
   }
-  t.render(std::cout, csv);
+  report.table(t);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = ssq::stats::want_csv(argc, argv);
+  ssq::bench::BenchReport report("ablation_legacy_qos", argc, argv);
   std::cout << "Sec. 2.2 ablation: SSVC vs the 4-level message-based QoS of "
                "the earlier Swizzle Switch design [14]\n\n";
-  table_a(csv);
-  table_b(csv);
-  table_c(csv);
+  table_a(report);
+  table_b(report);
+  table_c(report);
   return 0;
 }

@@ -49,7 +49,7 @@ double run(sw::AllocationMode alloc, std::uint32_t iterations,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = ssq::stats::want_csv(argc, argv);
+  ssq::bench::BenchReport report("ablation_matching", argc, argv);
   std::cout << "Extension ablation: single-request ports vs iterative "
                "matching, uniform all-to-all GB traffic, radix 8, 8-flit "
                "packets (aggregate ceiling = 8 x 8/9 = 7.11 flits/cycle)\n\n";
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
         .cell(run(sw::AllocationMode::IterativeMatching, 2, load), 3)
         .cell(run(sw::AllocationMode::IterativeMatching, 4, load), 3);
   }
-  t.render(std::cout, csv);
+  report.table(t);
   std::cout << "Matching != winning here: long packets amortise the "
                "allocation, and the single-request policy only asserts "
                "requests toward idle outputs, so it already forms a "

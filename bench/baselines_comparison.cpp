@@ -78,7 +78,8 @@ sw::ExperimentResult run(const Policy& p, bool flow0_idle) {
   return sw::run_experiment(config, std::move(w), 5000, 60000);
 }
 
-void scenario(const char* title, bool flow0_idle, bool csv) {
+void scenario(const char* title, bool flow0_idle,
+              bench::BenchReport& report) {
   stats::Table t(title);
   t.header({"policy", "f0(40%)", "f1(30%)", "f2(20%)", "f3(10%)", "total",
             "mean_latency"});
@@ -97,19 +98,20 @@ void scenario(const char* title, bool flow0_idle, bool csv) {
     t.cell(r.total_accepted_rate, 3);
     t.cell(lat_n ? lat / lat_n : 0.0, 1);
   }
-  t.render(std::cout, csv);
+  report.table(t);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = ssq::stats::want_csv(argc, argv);
+  ssq::bench::BenchReport report("baselines_comparison", argc, argv);
   std::cout << "Sec. 2.2 / Sec. 5 baselines: one output, reservations "
                "40/30/20/10 %, 8-flit packets\n\n";
-  scenario("Scenario 1 - all flows saturated (offered 0.9 each)", false, csv);
+  scenario("Scenario 1 - all flows saturated (offered 0.9 each)", false,
+           report);
   scenario("Scenario 2 - the 40% flow goes idle: is its share "
            "redistributed or wasted?",
-           true, csv);
+           true, report);
   std::cout
       << "Reading scenario 2's `total`: work-conserving policies fill the "
          "channel (~0.889);\nTDM wastes the idle owner's slots; GSF loses "

@@ -1,14 +1,113 @@
-// Shared helpers for the bench binaries: paper-standard configurations and
-// flow builders. Every bench prints its tables via ssq::stats::Table and
-// accepts `--csv` for machine-readable output.
+// Shared helpers for the bench binaries: paper-standard configurations,
+// flow builders, and the BenchReport output harness. Every bench prints its
+// tables via ssq::stats::Table, accepts `--csv` for machine-readable output
+// and `--json[=PATH]` to also write a BENCH_<name>.json report (schema
+// documented in docs/OBSERVABILITY.md).
 #pragma once
 
 #include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
+#include "obs/json.hpp"
+#include "stats/table.hpp"
 #include "switch/config.hpp"
 #include "traffic/flow.hpp"
 
 namespace ssq::bench {
+
+/// Per-bench output harness. Renders every table to stdout exactly like the
+/// old `t.render(std::cout, csv)` calls, and — when `--json` (default path
+/// `BENCH_<name>.json`) or `--json=PATH` is passed — also serialises all
+/// tables plus any scalar metrics to one JSON object on destruction:
+///
+///   {"schema":"ssq.bench.v1","bench":"<name>",
+///    "metrics":{"<name>":<number>,...},
+///    "tables":[{"title":"...","columns":[...],"rows":[[...],...]},...]}
+class BenchReport {
+ public:
+  BenchReport(std::string name, int argc, char** argv)
+      : name_(std::move(name)), csv_(stats::want_csv(argc, argv)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--json") {
+        json_path_ = "BENCH_" + name_ + ".json";
+      } else if (arg.substr(0, 7) == "--json=") {
+        json_path_ = std::string(arg.substr(7));
+      }
+    }
+  }
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+  ~BenchReport() { write(); }
+
+  [[nodiscard]] bool csv() const noexcept { return csv_; }
+
+  /// Renders `t` to stdout and queues it for the JSON report.
+  void table(const stats::Table& t) {
+    t.render(std::cout, csv_);
+    if (!json_path_.empty()) tables_.push_back(t);
+  }
+
+  /// Records a headline scalar (e.g. cycles/sec) for the JSON report.
+  void metric(std::string name, double value) {
+    metrics_.emplace_back(std::move(name), value);
+  }
+
+  /// Writes the JSON report now (idempotent; also called by the dtor).
+  void write() {
+    if (json_path_.empty() || written_) return;
+    written_ = true;
+    std::ofstream os(json_path_);
+    if (!os) {
+      std::cerr << "bench: cannot open '" << json_path_ << "' for writing\n";
+      return;
+    }
+    os << "{\"schema\":\"ssq.bench.v1\",\"bench\":" << obs::json_quote(name_)
+       << ",\"metrics\":{";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i) os << ',';
+      os << obs::json_quote(metrics_[i].first) << ':'
+         << obs::json_number(metrics_[i].second);
+    }
+    os << "},\"tables\":[";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      const auto& tab = tables_[t];
+      if (t) os << ',';
+      os << "\n{\"title\":" << obs::json_quote(tab.title())
+         << ",\"columns\":[";
+      for (std::size_t c = 0; c < tab.columns().size(); ++c) {
+        if (c) os << ',';
+        os << obs::json_quote(tab.columns()[c]);
+      }
+      os << "],\"rows\":[";
+      for (std::size_t r = 0; r < tab.rows().size(); ++r) {
+        if (r) os << ',';
+        os << '[';
+        for (std::size_t c = 0; c < tab.rows()[r].size(); ++c) {
+          if (c) os << ',';
+          os << obs::json_quote(tab.rows()[r][c]);
+        }
+        os << ']';
+      }
+      os << "]}";
+    }
+    os << "]}\n";
+    if (!csv_) std::cout << "json report: " << json_path_ << "\n";
+  }
+
+ private:
+  std::string name_;
+  bool csv_ = false;
+  bool written_ = false;
+  std::string json_path_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<stats::Table> tables_;
+};
 
 /// The evaluation-section switch configuration: radix 8, 128-bit channel
 /// (16 lanes), "4 significant bits of auxVC", 16-flit buffers, 8-flit

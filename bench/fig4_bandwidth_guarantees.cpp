@@ -36,7 +36,8 @@ traffic::Workload workload(double inject_rate) {
   return w;
 }
 
-void run_series(const char* title, sw::ArbitrationMode mode, bool csv) {
+void run_series(const char* title, sw::ArbitrationMode mode,
+                bench::BenchReport& report) {
   std::vector<std::vector<double>> curves(4);  // flows 1, 2, 3, 5
   stats::Table table(title);
   std::vector<std::string> header = {"inj_rate"};
@@ -61,8 +62,8 @@ void run_series(const char* title, sw::ArbitrationMode mode, bool csv) {
     curves[2].push_back(r.flows[2].accepted_rate);
     curves[3].push_back(r.flows[4].accepted_rate);
   }
-  table.render(std::cout, csv);
-  if (!csv) {
+  report.table(table);
+  if (!report.csv()) {
     stats::AsciiPlot plot(std::string(title) +
                           ": accepted throughput vs injection rate");
     plot.add_series("flow1 r=40%", curves[0], '1');
@@ -77,14 +78,14 @@ void run_series(const char* title, sw::ArbitrationMode mode, bool csv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = ssq::stats::want_csv(argc, argv);
+  ssq::bench::BenchReport report("fig4_bandwidth_guarantees", argc, argv);
   std::cout << "Fig. 4 reproduction: accepted throughput at the output "
                "(flits/input/cycle) vs injection rate\n"
             << "Max deliverable with 8-flit packets: 8/9 = 0.8889 "
                "flits/cycle (one arbitration cycle per packet)\n\n";
   run_series("Fig. 4(a) - No QoS (LRG arbitration)",
-             ssq::sw::ArbitrationMode::Baseline, csv);
+             ssq::sw::ArbitrationMode::Baseline, report);
   run_series("Fig. 4(b) - QoS (SSVC, Virtual Clock arbitration)",
-             ssq::sw::ArbitrationMode::SsvcQos, csv);
+             ssq::sw::ArbitrationMode::SsvcQos, report);
   return 0;
 }

@@ -69,7 +69,7 @@ std::vector<double> run_series(sw::ArbitrationMode mode,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = ssq::stats::want_csv(argc, argv);
+  ssq::bench::BenchReport report("fig5_latency_fairness", argc, argv);
   std::cout << "Fig. 5 reproduction: average GB packet latency "
                "(cycles/packet) vs % allocation of the output's bandwidth\n"
             << "8 flows, one output, 8-flit packets, bursty (on/off) "
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
         .cell(halve[i], 1)
         .cell(reset[i], 1);
   }
-  table.render(std::cout, csv);
+  report.table(table);
 
   stats::Table p95("Tail view - p95 latency (cycles/packet)");
   p95.header({"alloc_%", "original_vc", "subtract_real_clock", "divide_by_2",
@@ -109,9 +109,9 @@ int main(int argc, char** argv) {
         .cell(halve[n + i], 1)
         .cell(reset[n + i], 1);
   }
-  p95.render(std::cout, csv);
+  report.table(p95);
 
-  {
+  if (!report.csv()) {
     stats::AsciiPlot plot("Fig. 5 - mean latency vs % allocation", 16);
     auto head = [n](const std::vector<double>& v) {
       return std::vector<double>(v.begin(),
@@ -136,6 +136,6 @@ int main(int argc, char** argv) {
   summary.row().cell("subtract_real_clock").cell(spread(sub), 1);
   summary.row().cell("divide_by_2").cell(spread(halve), 1);
   summary.row().cell("reset").cell(spread(reset), 1);
-  summary.render(std::cout, csv);
+  report.table(summary);
   return 0;
 }

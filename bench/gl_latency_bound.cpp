@@ -24,7 +24,7 @@ namespace {
 
 using namespace ssq;
 
-void part_a(bool csv) {
+void part_a(ssq::bench::BenchReport& report) {
   stats::Table t("Eq. (1) - worst-case GL waiting time vs measured "
                  "(saturated GB background, b = 4 flits, GL packets 2 "
                  "flits, GB packets 8 flits)");
@@ -69,10 +69,10 @@ void part_a(bool csv) {
         .cell(mean_wait, 2)
         .cell(packets);
   }
-  t.render(std::cout, csv);
+  report.table(t);
 }
 
-void part_b_budgets(bool csv) {
+void part_b_budgets(ssq::bench::BenchReport& report) {
   stats::Table t("Eqs. (2)-(3) - admissible burst sizes (packets)");
   t.header({"scenario", "constraints_L", "l_max", "sigma"});
   {
@@ -95,10 +95,10 @@ void part_b_budgets(bool csv) {
               std::to_string(s[1]).substr(0, 5) + "/" +
               std::to_string(s[2]).substr(0, 5));
   }
-  t.render(std::cout, csv);
+  report.table(t);
 }
 
-void part_b_validation(bool csv) {
+void part_b_validation(ssq::bench::BenchReport& report) {
   // Inject single bursts of floor(sigma_n) GL packets from n_gl inputs at
   // once, with an idle switch otherwise except one GB flow providing the
   // l_max channel-release hazard; check creation-to-delivery latency of
@@ -150,16 +150,16 @@ void part_b_validation(bool csv) {
         .cell(max_lat, 1)
         .cell(max_lat <= L ? "yes" : "NO");
   }
-  t.render(std::cout, csv);
+  report.table(t);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = ssq::stats::want_csv(argc, argv);
+  ssq::bench::BenchReport report("gl_latency_bound", argc, argv);
   std::cout << "Sec. 3.4 reproduction: GL latency bound and burst sizing\n\n";
-  part_a(csv);
-  part_b_budgets(csv);
-  part_b_validation(csv);
+  part_a(report);
+  part_b_budgets(report);
+  part_b_validation(report);
   return 0;
 }

@@ -1,17 +1,28 @@
 // Micro-benchmarks (google-benchmark) for the arbitration hot paths: one
 // behavioural SSVC pick+grant, one bit-level circuit arbitration, and the
-// baseline arbiters, across radices. These quantify simulator cost per
-// modelled cycle (methodological, not a paper table).
+// baseline arbiters, across radices — plus whole-switch stepping with the
+// observability probe off/metrics-only/tracing, so the obs overhead shows
+// up as items_per_second = simulated cycles per wall-clock second. These
+// quantify simulator cost per modelled cycle (methodological, not a paper
+// table). `--benchmark_out=BENCH_micro_arbitration.json
+// --benchmark_out_format=json` writes the native google-benchmark report.
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <ostream>
+#include <streambuf>
 #include <vector>
 
 #include "arb/factory.hpp"
 #include "arb/lrg.hpp"
 #include "circuit/circuit_arbiter.hpp"
+#include "common.hpp"
 #include "core/output_arbiter.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
+#include "switch/crossbar.hpp"
+#include "traffic/workload.hpp"
 
 namespace {
 
@@ -85,6 +96,48 @@ void BM_CircuitArbitrate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// Discards everything written to it; the tracing benchmark still pays for
+// event formatting, just not for disk I/O.
+struct NullStreambuf final : std::streambuf {
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    return n;
+  }
+};
+
+enum class ObsMode { Off, Metrics, Trace };
+
+// Whole-switch stepping on the saturated Fig. 4 workload (8 GB flows onto
+// one output). items_per_second = simulated cycles per wall-clock second;
+// compare the three modes for the observability overhead.
+void BM_SwitchStep(benchmark::State& state, ObsMode mode) {
+  const std::vector<double> rates = {0.40, 0.20, 0.10, 0.10,
+                                     0.05, 0.05, 0.05, 0.05};
+  traffic::Workload w(8);
+  for (InputId i = 0; i < 8; ++i) {
+    w.add_flow(bench::make_gb_flow(i, 0, rates[i], 8, 0.9));
+  }
+  sw::CrossbarSwitch sim(bench::paper_switch_config(), std::move(w));
+
+  obs::SwitchProbe probe(8);
+  NullStreambuf null_buf;
+  std::ostream null_os(&null_buf);
+  obs::JsonlSink sink(null_os);
+  obs::Tracer tracer(sink);
+  if (mode != ObsMode::Off) {
+    if (mode == ObsMode::Trace) probe.set_tracer(&tracer);
+    sim.attach_probe(&probe);
+  }
+
+  constexpr Cycle kChunk = 1000;
+  for (auto _ : state) {
+    sim.run(kChunk);
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kChunk));
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_BaselineArbiter, lrg, ssq::arb::Kind::Lrg)
@@ -98,5 +151,8 @@ BENCHMARK_CAPTURE(BM_BaselineArbiter, virtual_clock,
     ->Arg(8)->Arg(64);
 BENCHMARK(BM_SsvcPickGrant)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 BENCHMARK(BM_CircuitArbitrate)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK_CAPTURE(BM_SwitchStep, obs_off, ObsMode::Off);
+BENCHMARK_CAPTURE(BM_SwitchStep, obs_metrics, ObsMode::Metrics);
+BENCHMARK_CAPTURE(BM_SwitchStep, obs_trace_null_sink, ObsMode::Trace);
 
 BENCHMARK_MAIN();

@@ -57,7 +57,7 @@ Result run(traffic::Pattern pattern, TrafficClass cls, double load) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = ssq::stats::want_csv(argc, argv);
+  ssq::bench::BenchReport report("patterns_sweep", argc, argv);
   std::cout << "Extension: classic synthetic patterns on the radix-8 SSVC "
                "switch (8-flit packets; per-port ceiling 8/9)\n\n";
 
@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
         t.cell(r.mean_latency, 1);
       }
     }
-    t.render(std::cout, csv);
+    report.table(t);
   }
   std::cout << "Permutations reach the 0.889 per-port ceiling; uniform "
                "random is limited by the single-BE-queue head-of-line "

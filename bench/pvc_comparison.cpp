@@ -27,7 +27,7 @@ using namespace ssq;
 const std::vector<double> kRates = {0.40, 0.20, 0.10, 0.10,
                                     0.05, 0.05, 0.05, 0.05};
 
-void table_a(bool csv) {
+void table_a(ssq::bench::BenchReport& report) {
   stats::Table t("A. Fig. 4 workload, all saturated: accepted throughput");
   t.header({"scheme", "f1(40%)", "f2(20%)", "f3(10%)", "f5(5%)", "total",
             "preemptions", "wasted_flits"});
@@ -66,10 +66,10 @@ void table_a(bool csv) {
         .cell(preempts)
         .cell(sim.wasted_flits());
   }
-  t.render(std::cout, csv);
+  report.table(t);
 }
 
-void table_b(bool csv) {
+void table_b(ssq::bench::BenchReport& report) {
   stats::Table t("B. Low-rate flow (2-flit packets, 2% load) under a "
                  "saturated 8-flit heavy flow: waiting time");
   t.header({"scheme", "light_mean_wait", "light_max_wait", "heavy_accepted",
@@ -108,17 +108,17 @@ void table_b(bool csv) {
         .cell(sim.throughput().rate(heavy), 3)
         .cell(sim.wasted_flits());
   }
-  t.render(std::cout, csv);
+  report.table(t);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = ssq::stats::want_csv(argc, argv);
+  ssq::bench::BenchReport report("pvc_comparison", argc, argv);
   std::cout << "Reference [7] comparison: Preemptive Virtual Clock vs SSVC "
                "on the single crossbar\n\n";
-  table_a(csv);
-  table_b(csv);
+  table_a(report);
+  table_b(report);
   std::cout << "PVC matches the reserved shares with per-input frame "
                "counters and cuts the light flow's\nwait via preemption — "
                "at the cost of aborted transfers (wasted flits). SSVC gets "

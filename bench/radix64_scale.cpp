@@ -59,7 +59,7 @@ traffic::Workload build_workload() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = ssq::stats::want_csv(argc, argv);
+  ssq::bench::BenchReport report("radix64_scale", argc, argv);
   std::cout << "Radix-64 scale run: 64x64 SSVC switch, 512-bit bus "
                "(4 GB levels + GL lane + BE lane), hotspot output with 36 "
                "reserved senders\n\n";
@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
         .cell(entitled, 4)
         .cell(accepted >= entitled * 0.93 ? "yes" : "NO");
   }
-  t.render(std::cout, csv);
+  report.table(t);
 
   double gl_max_wait = 0.0;
   std::uint64_t gl_packets = 0;
@@ -119,12 +119,13 @@ int main(int argc, char** argv) {
       .cell(gl_max_wait, 1)
       .cell(bound, 1)
       .cell(gl_max_wait <= bound ? "yes" : "NO");
-  g.render(std::cout, csv);
+  report.table(g);
 
   std::cout << "Hotspot GB aggregate: " << total
             << " flits/cycle of the 0.889 deliverable; simulated 210k "
                "cycles of a 64x64 switch in "
             << wall_s << " s ("
             << static_cast<long>(210000.0 / wall_s) << " cycles/s).\n";
+  report.metric("sim_cycles_per_sec", 210000.0 / wall_s);
   return 0;
 }

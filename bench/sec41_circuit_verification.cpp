@@ -15,6 +15,7 @@
 #include "arb/lrg.hpp"
 #include "circuit/circuit_arbiter.hpp"
 #include "sim/rng.hpp"
+#include "common.hpp"
 #include "stats/table.hpp"
 
 namespace {
@@ -117,7 +118,7 @@ SweepResult randomized(std::uint32_t radix, std::uint32_t gb_lanes,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = ssq::stats::want_csv(argc, argv);
+  ssq::bench::BenchReport report("sec41_circuit_verification", argc, argv);
   std::cout << "Sec. 4.1 reproduction: bit-level circuit model vs true "
                "auxVC-comparison reference\n\n";
   stats::Table t("Circuit-equivalence sweeps");
@@ -148,7 +149,7 @@ int main(int argc, char** argv) {
     t.row().cell("randomized, all classes").cell(64).cell(4).cell(r.cases)
         .cell(r.mismatches);
   }
-  t.render(std::cout, csv);
+  report.table(t);
   std::cout << "Every arbitration decision of the wire model must match the "
                "reference (0 mismatches).\n";
   return 0;

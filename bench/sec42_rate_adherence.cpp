@@ -37,7 +37,7 @@ std::vector<double> random_rates(std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = ssq::stats::want_csv(argc, argv);
+  ssq::bench::BenchReport report("sec42_rate_adherence", argc, argv);
   std::cout << "Sec. 4.2 reproduction: rate adherence over 20 random "
                "allocation vectors x packet sizes\n\n";
 
@@ -71,7 +71,8 @@ int main(int argc, char** argv) {
       t.cell(worst, 1);
     }
   }
-  t.render(std::cout, csv);
+  report.table(t);
+  report.metric("worst_shortfall_pct", global_worst);
   std::cout << "Worst shortfall over all 100 runs: " << global_worst
             << " % of entitlement (paper: within 2 % of reserved rates on "
                "average).\n";

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "multihop/two_stage.hpp"
+#include "common.hpp"
 #include "stats/table.hpp"
 #include "switch/simulator.hpp"
 #include "traffic/workload.hpp"
@@ -98,7 +99,7 @@ std::vector<double> run_composed() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = ssq::stats::want_csv(argc, argv);
+  ssq::bench::BenchReport report("sec44_composition", argc, argv);
   std::cout << "Sec. 4.4 reproduction: single-stage QoS vs composed "
                "multi-switch QoS (flits/cycle)\n\n";
 
@@ -124,7 +125,7 @@ int main(int argc, char** argv) {
         .cell(std::string(single_ok ? "kept" : "VIOLATED") + " / " +
               (composed_ok ? "kept" : "VIOLATED"));
   }
-  t.render(std::cout, csv);
+  report.table(t);
 
   std::cout << "Node-0 aggregate (A+B): single " << single[0] + single[1]
             << ", composed " << composed[0] + composed[1]

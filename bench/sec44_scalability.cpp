@@ -6,6 +6,7 @@
 #include <iostream>
 #include <string>
 
+#include "common.hpp"
 #include "core/params.hpp"
 #include "qosmath/lanes.hpp"
 #include "qosmath/vtick_analysis.hpp"
@@ -13,7 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace ssq;
-  const bool csv = stats::want_csv(argc, argv);
+  bench::BenchReport report("sec44_scalability", argc, argv);
   std::cout << "Sec. 4.4 reproduction: lane budget and SSVC accuracy vs "
                "radix and bus width\n\n";
 
@@ -34,7 +35,7 @@ int main(int argc, char** argv) {
           .cell(static_cast<std::uint64_t>(gb ? bits : 0));
     }
   }
-  lanes.render(std::cout, csv);
+  report.table(lanes);
   std::cout << "Paper: 128-bit suffices for radix 8/16/32; radix 64 needs "
                "256-bit for three classes; not scalable past 64 nodes.\n\n";
 
@@ -51,6 +52,6 @@ int main(int argc, char** argv) {
         .cell(std::to_string(lo) + " .. 0.40")
         .cell(qosmath::max_vtick_error(p, lo, 0.40, 8) * 100.0, 2);
   }
-  vt.render(std::cout, csv);
+  report.table(vt);
   return 0;
 }

@@ -8,12 +8,13 @@
 // 45 KiB crosspoint state = 1,101 KiB ("about 1 MB").
 #include <iostream>
 
+#include "common.hpp"
 #include "hw/storage_model.hpp"
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace ssq;
-  const bool csv = stats::want_csv(argc, argv);
+  bench::BenchReport report("table1_storage", argc, argv);
 
   const hw::StorageParams params{};  // Table 1's configuration
   const auto b = hw::compute_storage(params);
@@ -42,7 +43,7 @@ int main(int argc, char** argv) {
   t1.row().cell("Total switch storage")
       .cell(std::to_string(b.total_kib()) + " KiB")
       .cell(b.total_bytes, 0);
-  t1.render(std::cout, csv);
+  report.table(t1);
 
   std::cout << "Paper (reconstructed from its arithmetic): 1,056 K buffering"
                " + 45 K crosspoint state = 1,101 K total.\n";

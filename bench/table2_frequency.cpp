@@ -10,13 +10,14 @@
 #include <iostream>
 #include <string>
 
+#include "common.hpp"
 #include "hw/area_model.hpp"
 #include "hw/timing_model.hpp"
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace ssq;
-  const bool csv = stats::want_csv(argc, argv);
+  bench::BenchReport report("table2_frequency", argc, argv);
 
   const hw::TimingModel model;
   stats::Table t2("Table 2 - Frequency (GHz) with and without SSVC");
@@ -32,7 +33,7 @@ int main(int argc, char** argv) {
     }
     t2.cell(worst * 100.0, 2);
   }
-  t2.render(std::cout, csv);
+  report.table(t2);
   std::cout << "Anchors: SS 64x64/128-bit = "
             << model.ss_freq_ghz(64, 128) << " GHz (paper: 1.5 [16]); "
             << "worst slowdown = " << model.slowdown(8, 256) * 100.0
@@ -46,7 +47,7 @@ int main(int argc, char** argv) {
         .cell(hw::ssvc_area_overhead(width) * 100.0, 2)
         .cell(hw::ssvc_equivalent_channel_bits(width), 1);
   }
-  area.render(std::cout, csv);
+  report.table(area);
   std::cout << "Paper: +2 % at 128-bit (\"equivalent to the area of a "
                "131-bit channel\"); no overhead at 256/512-bit.\n";
   return 0;

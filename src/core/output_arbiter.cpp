@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/probe.hpp"
+
 namespace ssq::core {
 
 namespace {
@@ -67,11 +69,12 @@ void OutputQosArbiter::advance_to(Cycle now) {
       for (auto& vc : gb_vc_) vc.epoch_wrap();
       epoch_base_ += epoch;
       rt_ -= epoch;
+      if (probe_ != nullptr) probe_->epoch_wrap(now, self_);
     }
   }
 }
 
-void OutputQosArbiter::on_saturation(Cycle /*now*/) {
+void OutputQosArbiter::on_saturation(Cycle now) {
   // Global management event when any auxVC register saturates despite the
   // periodic subtraction — which is what happens on multi-packet bursts
   // from low-rate (large-Vtick) flows, the paper's "especially during
@@ -83,9 +86,11 @@ void OutputQosArbiter::on_saturation(Cycle /*now*/) {
   switch (params_.policy) {
     case CounterPolicy::Halve:
       for (auto& vc : gb_vc_) vc.halve();
+      if (probe_ != nullptr) probe_->mgmt_event(now, self_, /*halve=*/true);
       break;
     case CounterPolicy::Reset:
       for (auto& vc : gb_vc_) vc.reset();
+      if (probe_ != nullptr) probe_->mgmt_event(now, self_, /*halve=*/false);
       break;
     case CounterPolicy::SubtractRealClock:
     case CounterPolicy::None:
@@ -126,8 +131,19 @@ InputId OutputQosArbiter::pick(std::span<const ClassRequest> requests,
       if (r.cls == TrafficClass::GuaranteedLatency) bucket.push_back(r);
     if (!bucket.empty()) {
       const InputId w = lrg_pick(bucket);
+      if (probe_ != nullptr && bucket.size() > 1) {
+        probe_->lane_tie_break(now, self_, TrafficClass::GuaranteedLatency, w,
+                               0, static_cast<std::uint32_t>(bucket.size()));
+      }
       picked_class_ = TrafficClass::GuaranteedLatency;
       return w;
+    }
+  } else if (probe_ != nullptr) {
+    for (const auto& r : requests) {
+      if (r.cls == TrafficClass::GuaranteedLatency) {
+        probe_->gl_stall(now, self_, gl_.overrun(now));
+        break;
+      }
     }
   }
 
@@ -148,6 +164,11 @@ InputId OutputQosArbiter::pick(std::span<const ClassRequest> requests,
   }
   if (!bucket.empty()) {
     const InputId w = lrg_pick(bucket);
+    if (probe_ != nullptr && bucket.size() > 1) {
+      probe_->lane_tie_break(now, self_, TrafficClass::GuaranteedBandwidth, w,
+                             min_level,
+                             static_cast<std::uint32_t>(bucket.size()));
+    }
     picked_class_ = TrafficClass::GuaranteedBandwidth;
     return w;
   }
@@ -168,6 +189,10 @@ InputId OutputQosArbiter::pick(std::span<const ClassRequest> requests,
       dup |= 1ULL << r.input;
     }
     const InputId w = lrg_pick(bucket);
+    if (probe_ != nullptr && bucket.size() > 1) {
+      probe_->lane_tie_break(now, self_, TrafficClass::BestEffort, w, 0,
+                             static_cast<std::uint32_t>(bucket.size()));
+    }
     for (const auto& r : bucket) {
       if (r.input == w) picked_class_ = r.cls;
     }
@@ -188,6 +213,9 @@ void OutputQosArbiter::on_grant(InputId input, TrafficClass cls,
   switch (cls) {
     case TrafficClass::GuaranteedBandwidth: {
       const bool saturated = gb_vc_[input].on_grant(rt_);
+      if (saturated && probe_ != nullptr) {
+        probe_->auxvc_saturated(now, self_, input, gb_vc_[input].cap());
+      }
       if (saturated && (params_.policy == CounterPolicy::Halve ||
                         params_.policy == CounterPolicy::Reset)) {
         on_saturation(now);

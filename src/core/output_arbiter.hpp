@@ -30,6 +30,10 @@
 #include "core/params.hpp"
 #include "sim/types.hpp"
 
+namespace ssq::obs {
+class SwitchProbe;
+}
+
 namespace ssq::core {
 
 /// One input's request in a three-class arbitration.
@@ -71,6 +75,15 @@ class OutputQosArbiter {
 
   void reset();
 
+  /// Connects the observability probe; `self` is this arbiter's output id
+  /// in trace events. Pass nullptr to detach. The arbiter then reports GL
+  /// policer stalls, LRG lane tie-breaks, auxVC saturations, epoch wraps
+  /// and halve/reset management events.
+  void set_probe(obs::SwitchProbe* probe, OutputId self) noexcept {
+    probe_ = probe;
+    self_ = self;
+  }
+
   // ---- introspection (tests, benches, circuit cross-checks) ----
   [[nodiscard]] std::uint32_t radix() const noexcept { return radix_; }
   [[nodiscard]] const SsvcParams& params() const noexcept { return params_; }
@@ -101,6 +114,8 @@ class OutputQosArbiter {
   std::uint64_t rt_ = 0;  // now - epoch_base_
   Cycle last_now_ = 0;
   TrafficClass picked_class_ = TrafficClass::BestEffort;
+  obs::SwitchProbe* probe_ = nullptr;  // null = observability off
+  OutputId self_ = kNoPort;
 };
 
 }  // namespace ssq::core

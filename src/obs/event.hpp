@@ -1,0 +1,77 @@
+// Trace events — the packet-lifecycle and arbitration vocabulary of the
+// observability layer.
+//
+// One fixed-size POD per event: the hot path fills scalar fields and hands
+// the struct to the tracer; all string formatting happens inside the sink,
+// so a disabled tracer costs exactly one pointer test. Field meaning varies
+// slightly by kind (see the table in docs/OBSERVABILITY.md); unused fields
+// keep their sentinel defaults and sinks omit them.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace ssq::obs {
+
+enum class EventKind : std::uint8_t {
+  // ---- packet lifecycle ----
+  PacketCreated = 0,  // source queue push           arg0 = source backlog
+  PacketBuffered,     // admitted to an input buffer
+  AdmitBlocked,       // class buffer full: admission refused this cycle
+  Request,            // input asserts its one request towards an output
+  Grant,              // output arbitration won      arg0 = wait (cycles)
+  ChainGrant,         // packet-chaining grant       arg0 = wait (cycles)
+  TransferStart,      // first flit cycle
+  Delivered,          // last flit cycle             arg0 = latency (cycles)
+  Preempted,          // PVC abort                   arg0 = wasted flits
+  // ---- SSVC arbitration internals ----
+  GlStall,            // policer made GL ineligible  arg0 = overrun (cycles)
+  LaneTieBreak,       // LRG broke a tie             arg0 = lane level,
+                      //                             arg1 = candidate count
+  AuxVcSaturated,     // a grant saturated input's auxVC  arg0 = counter cap
+  EpochWrap,          // real-time epoch wrap: every auxVC shifted down
+  MgmtHalve,          // global halve management event
+  MgmtReset,          // global reset management event
+};
+
+/// Short stable name used by every sink.
+[[nodiscard]] constexpr std::string_view to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::PacketCreated: return "create";
+    case EventKind::PacketBuffered: return "buffer";
+    case EventKind::AdmitBlocked: return "admit_blocked";
+    case EventKind::Request: return "request";
+    case EventKind::Grant: return "grant";
+    case EventKind::ChainGrant: return "chain_grant";
+    case EventKind::TransferStart: return "xfer_start";
+    case EventKind::Delivered: return "deliver";
+    case EventKind::Preempted: return "preempt";
+    case EventKind::GlStall: return "gl_stall";
+    case EventKind::LaneTieBreak: return "tie_break";
+    case EventKind::AuxVcSaturated: return "auxvc_saturated";
+    case EventKind::EpochWrap: return "epoch_wrap";
+    case EventKind::MgmtHalve: return "mgmt_halve";
+    case EventKind::MgmtReset: return "mgmt_reset";
+  }
+  return "?";
+}
+
+/// Sentinel for "no flow / no packet attached to this event".
+inline constexpr std::uint64_t kNoId = ~0ULL;
+
+struct Event {
+  Cycle cycle = 0;
+  EventKind kind = EventKind::PacketCreated;
+  TrafficClass cls = TrafficClass::BestEffort;
+  InputId input = kNoPort;
+  OutputId output = kNoPort;
+  std::uint64_t flow = kNoId;    // FlowId, widened so kNoId is distinct
+  std::uint64_t packet = kNoId;  // PacketId
+  std::uint32_t length = 0;      // flits (0 = not applicable)
+  std::uint64_t arg0 = 0;        // kind-specific, see the enum comments
+  std::uint64_t arg1 = 0;
+};
+
+}  // namespace ssq::obs

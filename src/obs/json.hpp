@@ -1,0 +1,66 @@
+// Minimal JSON emission helpers for the observability sinks.
+//
+// The sinks write JSON by hand (no external dependency); everything that
+// could carry arbitrary bytes — workload paths, bench titles, metric names —
+// must pass through json_escape so the emitted files always parse. Numbers
+// are written with enough precision to round-trip doubles.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ssq::obs {
+
+/// Appends the RFC 8259 escaping of `s` (without surrounding quotes) to
+/// `out`. Control characters below 0x20 become \u00XX; multi-byte UTF-8
+/// sequences pass through untouched.
+inline void json_escape_to(std::string_view s, std::string& out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Returns `s` escaped and wrapped in double quotes.
+[[nodiscard]] inline std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  json_escape_to(s, out);
+  out += '"';
+  return out;
+}
+
+/// Formats a double as a JSON number token (JSON has no NaN/Inf; those are
+/// emitted as null, which keeps every file parseable).
+[[nodiscard]] inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+[[nodiscard]] inline std::string json_number(std::uint64_t v) {
+  return std::to_string(v);
+}
+
+}  // namespace ssq::obs

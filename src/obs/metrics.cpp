@@ -1,0 +1,92 @@
+#include "obs/metrics.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace ssq::obs {
+
+CounterId MetricsRegistry::counter(std::string_view name) {
+  auto it = counter_index_.find(std::string(name));
+  if (it != counter_index_.end()) return {it->second};
+  const auto idx = static_cast<std::uint32_t>(counters_.size());
+  counters_.push_back({std::string(name), 0});
+  counter_index_.emplace(std::string(name), idx);
+  return {idx};
+}
+
+GaugeId MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauge_index_.find(std::string(name));
+  if (it != gauge_index_.end()) return {it->second};
+  const auto idx = static_cast<std::uint32_t>(gauges_.size());
+  gauges_.push_back({std::string(name), 0.0});
+  gauge_index_.emplace(std::string(name), idx);
+  return {idx};
+}
+
+HistogramId MetricsRegistry::histogram(std::string_view name, double bin_width,
+                                       std::size_t num_bins) {
+  auto it = histogram_index_.find(std::string(name));
+  if (it != histogram_index_.end()) {
+    const auto& h = histograms_[it->second].hist;
+    SSQ_EXPECT(h.bin_width() == bin_width && h.num_bins() == num_bins &&
+               "histogram re-registered with a different geometry");
+    return {it->second};
+  }
+  const auto idx = static_cast<std::uint32_t>(histograms_.size());
+  histograms_.push_back({std::string(name),
+                         stats::Histogram(bin_width, num_bins)});
+  histogram_index_.emplace(std::string(name), idx);
+  return {idx};
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  auto it = counter_index_.find(std::string(name));
+  return it == counter_index_.end() ? 0 : counters_[it->second].value;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& c : other.counters_) {
+    add(counter(c.name), c.value);
+  }
+  for (const auto& g : other.gauges_) {
+    set(gauge(g.name), g.value);
+  }
+  for (const auto& h : other.histograms_) {
+    const HistogramId id =
+        histogram(h.name, h.hist.bin_width(), h.hist.num_bins());
+    histograms_[id.idx].hist.merge(h.hist);
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (i) os << ',';
+    os << json_quote(counters_[i].name) << ':' << counters_[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (i) os << ',';
+    os << json_quote(gauges_[i].name) << ':' << json_number(gauges_[i].value);
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    if (i) os << ',';
+    const auto& h = histograms_[i].hist;
+    os << json_quote(histograms_[i].name) << ":{\"bin_width\":"
+       << json_number(h.bin_width()) << ",\"total\":" << h.total()
+       << ",\"max\":" << json_number(h.max_seen())
+       << ",\"p50\":" << json_number(h.percentile(0.50))
+       << ",\"p95\":" << json_number(h.percentile(0.95))
+       << ",\"p99\":" << json_number(h.percentile(0.99)) << ",\"bins\":[";
+    for (std::size_t b = 0; b <= h.num_bins(); ++b) {
+      if (b) os << ',';
+      os << h.bin_count(b);  // last entry is the overflow bin
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+}  // namespace ssq::obs

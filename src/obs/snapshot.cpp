@@ -1,0 +1,111 @@
+#include "obs/snapshot.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "obs/probe.hpp"
+
+namespace ssq::obs {
+
+SnapshotSampler::SnapshotSampler(std::uint32_t radix, Cycle interval)
+    : radix_(radix),
+      interval_(interval),
+      prev_grants_(radix, 0),
+      grant_series_(radix, interval) {
+  SSQ_EXPECT(radix >= 1);
+  SSQ_EXPECT(interval >= 1);
+}
+
+void SnapshotSampler::sample(Cycle now,
+                             const std::vector<PortOccupancy>& occupancy,
+                             const SwitchProbe& probe) {
+  SSQ_EXPECT(occupancy.size() == radix_);
+  SSQ_EXPECT(probe.radix() == radix_);
+  Snapshot s;
+  s.cycle = now;
+  s.occupancy = occupancy;
+  s.grants.resize(radix_);
+  s.grant_share.resize(radix_);
+  s.auxvc_saturations.resize(radix_);
+  s.gl_stalls.resize(radix_);
+
+  std::uint64_t total = 0;
+  for (OutputId o = 0; o < radix_; ++o) {
+    const std::uint64_t cum = probe.grants_for_output(o);
+    s.grants[o] = cum - prev_grants_[o];
+    prev_grants_[o] = cum;
+    total += s.grants[o];
+    s.auxvc_saturations[o] = probe.auxvc_saturations(o);
+    s.gl_stalls[o] = probe.gl_stalls(o);
+    if (s.grants[o] > 0 && now > 0) {
+      grant_series_.record_flits(o, now - 1, s.grants[o]);
+    }
+  }
+  grant_series_.roll_to(now);
+  for (OutputId o = 0; o < radix_; ++o) {
+    s.grant_share[o] = total == 0 ? 0.0
+                                  : static_cast<double>(s.grants[o]) /
+                                        static_cast<double>(total);
+  }
+  samples_.push_back(std::move(s));
+}
+
+void SnapshotSampler::write_json(std::ostream& os) const {
+  os << "{\"interval\":" << interval_ << ",\"radix\":" << radix_
+     << ",\"samples\":[";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const auto& s = samples_[i];
+    if (i) os << ',';
+    os << "\n{\"cycle\":" << s.cycle << ",\"occupancy\":{\"be\":[";
+    for (std::size_t p = 0; p < s.occupancy.size(); ++p) {
+      if (p) os << ',';
+      os << s.occupancy[p].be;
+    }
+    os << "],\"gb\":[";
+    for (std::size_t p = 0; p < s.occupancy.size(); ++p) {
+      if (p) os << ',';
+      os << s.occupancy[p].gb;
+    }
+    os << "],\"gl\":[";
+    for (std::size_t p = 0; p < s.occupancy.size(); ++p) {
+      if (p) os << ',';
+      os << s.occupancy[p].gl;
+    }
+    os << "]},\"grants\":[";
+    for (std::size_t o = 0; o < s.grants.size(); ++o) {
+      if (o) os << ',';
+      os << s.grants[o];
+    }
+    os << "],\"grant_share\":[";
+    for (std::size_t o = 0; o < s.grant_share.size(); ++o) {
+      if (o) os << ',';
+      os << json_number(s.grant_share[o]);
+    }
+    os << "],\"auxvc_saturations\":[";
+    for (std::size_t o = 0; o < s.auxvc_saturations.size(); ++o) {
+      if (o) os << ',';
+      os << s.auxvc_saturations[o];
+    }
+    os << "],\"gl_stalls\":[";
+    for (std::size_t o = 0; o < s.gl_stalls.size(); ++o) {
+      if (o) os << ',';
+      os << s.gl_stalls[o];
+    }
+    os << "]}";
+  }
+  os << "],\"grant_rate_series\":{\"window\":" << grant_series_.window_cycles()
+     << ",\"outputs\":[";
+  for (std::size_t o = 0; o < radix_; ++o) {
+    if (o) os << ',';
+    os << '[';
+    const auto& series = grant_series_.series(o);
+    for (std::size_t w = 0; w < series.size(); ++w) {
+      if (w) os << ',';
+      os << json_number(series[w]);
+    }
+    os << ']';
+  }
+  os << "]}}";
+}
+
+}  // namespace ssq::obs

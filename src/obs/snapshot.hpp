@@ -1,0 +1,67 @@
+// Periodic time-series snapshot sampler — the third sink.
+//
+// Every `interval` cycles the driver hands the sampler the switch's current
+// per-port class-buffer occupancy plus the attached SwitchProbe; the sampler
+// diffs the probe's per-output counters against the previous sample and
+// appends one snapshot row: per-class occupancy, per-output grant shares in
+// the window, auxVC saturation and GL-stall counts. Per-output grant rates
+// are additionally folded into a stats::RateSeries so convergence analyses
+// get the same windowed-rate view the benches use.
+//
+// Sampling is pull-based (the driver calls sample()) so the cycle loop pays
+// nothing between samples.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "stats/timeseries.hpp"
+
+namespace ssq::obs {
+
+class SwitchProbe;
+
+/// Flits held per class in one input port's buffers.
+struct PortOccupancy {
+  std::uint32_t be = 0;
+  std::uint32_t gb = 0;  // summed over the per-output crosspoint queues
+  std::uint32_t gl = 0;
+};
+
+class SnapshotSampler {
+ public:
+  SnapshotSampler(std::uint32_t radix, Cycle interval);
+
+  /// Records one snapshot at `now` (non-decreasing). `occupancy` has one
+  /// entry per input port.
+  void sample(Cycle now, const std::vector<PortOccupancy>& occupancy,
+              const SwitchProbe& probe);
+
+  [[nodiscard]] Cycle interval() const noexcept { return interval_; }
+  [[nodiscard]] std::size_t num_samples() const noexcept {
+    return samples_.size();
+  }
+
+  /// Writes {"interval":...,"samples":[...],"grant_rate_series":{...}}.
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct Snapshot {
+    Cycle cycle = 0;
+    std::vector<PortOccupancy> occupancy;
+    std::vector<std::uint64_t> grants;  // per output, this window
+    std::vector<double> grant_share;    // grants / window total (0 if none)
+    std::vector<std::uint64_t> auxvc_saturations;  // per output, cumulative
+    std::vector<std::uint64_t> gl_stalls;          // per output, cumulative
+  };
+
+  std::uint32_t radix_;
+  Cycle interval_;
+  std::vector<std::uint64_t> prev_grants_;
+  stats::RateSeries grant_series_;  // per-output grants/cycle by window
+  std::vector<Snapshot> samples_;
+};
+
+}  // namespace ssq::obs

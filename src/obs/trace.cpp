@@ -1,0 +1,145 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace ssq::obs {
+
+namespace {
+
+/// Kind-specific label of Event::arg0 (nullptr = arg0 unused).
+const char* arg0_label(EventKind k) {
+  switch (k) {
+    case EventKind::PacketCreated: return "backlog";
+    case EventKind::Grant:
+    case EventKind::ChainGrant: return "wait";
+    case EventKind::Delivered: return "latency";
+    case EventKind::Preempted: return "wasted";
+    case EventKind::GlStall: return "overrun";
+    case EventKind::LaneTieBreak: return "lane";
+    case EventKind::AuxVcSaturated: return "cap";
+    default: return nullptr;
+  }
+}
+
+/// Kind-specific label of Event::arg1 (nullptr = arg1 unused).
+const char* arg1_label(EventKind k) {
+  return k == EventKind::LaneTieBreak ? "candidates" : nullptr;
+}
+
+/// Output-port events render on the output track; everything else on the
+/// input track.
+bool on_output_track(const Event& e) {
+  return e.output != kNoPort;
+}
+
+/// Common payload fields shared by both sinks ({"cls":...,"flow":...,...}).
+void append_payload(const Event& e, std::string& out) {
+  bool first = true;
+  const auto field = [&](const char* name, const std::string& value) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += value;
+  };
+  field("cls", json_quote(to_string(e.cls)));
+  if (e.input != kNoPort) field("in", std::to_string(e.input));
+  if (e.output != kNoPort) field("out", std::to_string(e.output));
+  if (e.flow != kNoId) field("flow", std::to_string(e.flow));
+  if (e.packet != kNoId) field("pkt", std::to_string(e.packet));
+  if (e.length != 0) field("len", std::to_string(e.length));
+  if (const char* l = arg0_label(e.kind)) field(l, std::to_string(e.arg0));
+  if (const char* l = arg1_label(e.kind)) field(l, std::to_string(e.arg1));
+}
+
+}  // namespace
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& os, std::uint32_t radix)
+    : os_(os), radix_(radix) {
+  os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  write_metadata();
+}
+
+void ChromeTraceSink::write_metadata() {
+  // Two synthetic processes: pid 0 = input ports, pid 1 = output ports; one
+  // thread (track) per port.
+  os_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\"input ports\"}}";
+  os_ << ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"output ports\"}}";
+  for (std::uint32_t p = 0; p < radix_; ++p) {
+    os_ << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << p
+        << ",\"args\":{\"name\":\"in" << p << "\"}}";
+    os_ << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << p
+        << ",\"args\":{\"name\":\"out" << p << "\"}}";
+  }
+  any_ = true;
+}
+
+void ChromeTraceSink::on_event(const Event& e) {
+  const bool out_track = on_output_track(e);
+  const std::uint32_t tid = out_track ? e.output : e.input;
+  const char* ph = "i";
+  Cycle ts = e.cycle;
+  std::string name;
+  if (e.kind == EventKind::TransferStart) {
+    ph = "B";
+    name = "xfer f" + std::to_string(e.flow) + " p" + std::to_string(e.packet);
+  } else if (e.kind == EventKind::Delivered) {
+    // Close the transfer slice after the last flit cycle so the slice width
+    // equals the packet length in cycles.
+    ph = "E";
+    ts = e.cycle + 1;
+    name = "xfer f" + std::to_string(e.flow) + " p" + std::to_string(e.packet);
+  } else {
+    name = to_string(e.kind);
+  }
+
+  std::string line;
+  line.reserve(160);
+  if (any_) line += ",\n";
+  line += "{\"name\":";
+  line += json_quote(name);
+  line += ",\"cat\":\"ssq\",\"ph\":\"";
+  line += ph;
+  line += "\",\"ts\":";
+  line += std::to_string(ts);
+  line += ",\"pid\":";
+  line += out_track ? '1' : '0';
+  line += ",\"tid\":";
+  line += std::to_string(tid == kNoPort ? 0 : tid);
+  if (ph[0] == 'i') line += ",\"s\":\"t\"";
+  line += ",\"args\":{\"ev\":";
+  line += json_quote(to_string(e.kind));
+  line += ',';
+  append_payload(e, line);
+  line += "}}";
+  os_ << line;
+  any_ = true;
+}
+
+void ChromeTraceSink::finish() {
+  if (finished_) return;
+  finished_ = true;
+  os_ << "\n]}\n";
+  os_.flush();
+}
+
+void JsonlSink::on_event(const Event& e) {
+  std::string line;
+  line.reserve(160);
+  line += "{\"t\":";
+  line += std::to_string(e.cycle);
+  line += ",\"ev\":";
+  line += json_quote(to_string(e.kind));
+  line += ',';
+  append_payload(e, line);
+  line += "}\n";
+  os_ << line;
+}
+
+}  // namespace ssq::obs

@@ -1,0 +1,103 @@
+// Event tracer and its sinks.
+//
+// The Tracer is the funnel every probe hook feeds: it applies the event
+// limit and forwards to one sink. Two file sinks are provided —
+//
+//   * ChromeTraceSink: Chrome trace-event JSON ({"traceEvents":[...]})
+//     loadable in Perfetto / chrome://tracing. Ports become tracks: one
+//     process for input ports, one for output ports, one thread per port.
+//     Packet transfers are B/E duration pairs on the output track; all
+//     other events are instants.
+//   * JsonlSink: one JSON object per line, schema-stable, for jq/pandas.
+//
+// Sinks format; the simulator never does. finish() must be called before
+// closing the underlying stream (the Chrome format needs its closing
+// brackets); Tracer::~Tracer calls it for you.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace ssq::obs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const Event& e) = 0;
+  /// Flushes trailers (closing brackets, metadata). Idempotent.
+  virtual void finish() {}
+};
+
+/// Chrome trace-event JSON. `radix` sizes the port tracks.
+class ChromeTraceSink final : public TraceSink {
+ public:
+  ChromeTraceSink(std::ostream& os, std::uint32_t radix);
+  void on_event(const Event& e) override;
+  void finish() override;
+
+ private:
+  void write_metadata();
+  std::ostream& os_;
+  std::uint32_t radix_;
+  bool any_ = false;
+  bool finished_ = false;
+};
+
+/// One JSON object per line.
+class JsonlSink final : public TraceSink {
+ public:
+  explicit JsonlSink(std::ostream& os) : os_(os) {}
+  void on_event(const Event& e) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// In-memory sink — tests and programmatic consumers.
+class CollectSink final : public TraceSink {
+ public:
+  void on_event(const Event& e) override { events_.push_back(e); }
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+
+ private:
+  std::vector<Event> events_;
+};
+
+class Tracer {
+ public:
+  /// `limit` caps emitted events (kNoLimit = unbounded); events beyond the
+  /// cap are counted as dropped but never formatted.
+  static constexpr std::uint64_t kNoLimit = ~0ULL;
+  explicit Tracer(TraceSink& sink, std::uint64_t limit = kNoLimit)
+      : sink_(sink), limit_(limit) {}
+  ~Tracer() { finish(); }
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void emit(const Event& e) {
+    if (emitted_ >= limit_) {
+      ++dropped_;
+      return;
+    }
+    ++emitted_;
+    sink_.on_event(e);
+  }
+
+  void finish() { sink_.finish(); }
+
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  TraceSink& sink_;
+  std::uint64_t limit_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ssq::obs

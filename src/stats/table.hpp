@@ -39,6 +39,15 @@ class Table {
   [[nodiscard]] std::size_t num_cols() const noexcept { return header_.size(); }
   [[nodiscard]] const std::string& title() const noexcept { return title_; }
 
+  /// Raw cell access, used by serialisers (e.g. bench JSON reports).
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
  private:
   std::string title_;
   std::vector<std::string> header_;

@@ -28,6 +28,14 @@ class RateSeries {
     ++counts_[flow];
   }
 
+  /// Records `n` flits at once (batch form used by the observability
+  /// sampler, which diffs counters once per window instead of per flit).
+  void record_flits(std::size_t flow, Cycle now, std::uint64_t n) {
+    SSQ_EXPECT(flow < counts_.size());
+    roll_to(now);
+    counts_[flow] += n;
+  }
+
   /// Closes any windows ending at or before `now` (call at the end of a run
   /// so the final full window is flushed).
   void roll_to(Cycle now) {

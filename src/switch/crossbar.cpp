@@ -91,6 +91,16 @@ const InputPort& CrossbarSwitch::input(InputId i) const {
   return inputs_[i];
 }
 
+void CrossbarSwitch::attach_probe(obs::SwitchProbe* probe) {
+  SSQ_EXPECT(probe == nullptr || probe->radix() == config_.radix);
+  obs_ = probe;
+  // SSVC arbiters report their internals into the same probe; the class-blind
+  // baselines have no QoS state worth tracing.
+  for (OutputId o = 0; o < qos_.size(); ++o) {
+    qos_[o]->set_probe(probe, o);
+  }
+}
+
 core::OutputQosArbiter& CrossbarSwitch::qos_arbiter(OutputId o) {
   SSQ_EXPECT(config_.mode == ArbitrationMode::SsvcQos);
   SSQ_EXPECT(o < qos_.size());
@@ -141,6 +151,10 @@ void CrossbarSwitch::preempt_scan() {
     }
     wasted_flits_ += transferred;
     ++preemptions_[o];
+    if (obs_ != nullptr) {
+      obs_->preempted(now_, t.pkt.src, o, t.pkt.cls, t.pkt.flow, t.pkt.id,
+                      transferred);
+    }
     const InputId src = t.pkt.src;
     Packet victim = std::move(t.pkt);
     victim.granted = kNoCycle;
@@ -191,6 +205,10 @@ void CrossbarSwitch::inject() {
       p.cls = inj.spec().cls;
       p.length = inj.draw_length();
       p.created = now_;
+      if (obs_ != nullptr) {
+        obs_->packet_created(now_, f, p.id, p.src, p.dst, p.cls, p.length,
+                             source_q_[f].size() + 1);
+      }
       source_q_[f].push_back(std::move(p));
     }
     max_backlog_[f] = std::max(max_backlog_[f], source_q_[f].size());
@@ -221,7 +239,19 @@ void CrossbarSwitch::inject() {
           (gsf_barrier || gsf_used_[f] >= gsf_quota_[f])) {
         continue;  // GSF: out of frame quota, or inside the barrier window
       }
-      if (!inputs_[i].can_accept(source_q_[f].front())) continue;
+      if (!inputs_[i].can_accept(source_q_[f].front())) {
+        if (obs_ != nullptr) {
+          const Packet& blocked = source_q_[f].front();
+          obs_->admit_blocked(now_, f, blocked.src, blocked.dst, blocked.cls,
+                              blocked.length);
+        }
+        continue;
+      }
+      if (obs_ != nullptr) {
+        const Packet& head = source_q_[f].front();
+        obs_->packet_buffered(now_, f, head.id, head.src, head.dst, head.cls,
+                              head.length);
+      }
       inputs_[i].accept(std::move(source_q_[f].front()), now_);
       source_q_[f].pop_front();
       if (gsf_quota_[f] > 0) ++gsf_used_[f];
@@ -251,6 +281,12 @@ void CrossbarSwitch::complete(Transmission& t, OutputId o) {
     wait_.record(t.pkt.flow, static_cast<double>(t.pkt.granted - t.pkt.buffered));
   }
   ++delivered_[t.pkt.flow];
+  if (obs_ != nullptr) {
+    const Cycle from =
+        config_.latency_from_creation ? t.pkt.created : t.pkt.buffered;
+    obs_->delivered(now_, t.pkt.src, o, t.pkt.cls, t.pkt.flow, t.pkt.id,
+                    t.pkt.length, now_ - from);
+  }
 
   const InputId src = t.pkt.src;
   const TrafficClass cls = t.pkt.cls;
@@ -293,6 +329,12 @@ void CrossbarSwitch::complete(Transmission& t, OutputId o) {
         pkt.granted = now_;
         if (measuring_) usage_[o].transfer_cycles += pkt.length;  // no arb
         qos_[o]->on_grant(src, cls, pkt.length, now_);
+        if (obs_ != nullptr) {
+          obs_->grant(now_, src, o, cls, pkt.flow, pkt.id, pkt.length,
+                      now_ - pkt.buffered, /*chained=*/true);
+          obs_->transfer_start(now_ + 1, src, o, cls, pkt.flow, pkt.id,
+                               pkt.length);
+        }
         start_transmission(std::move(pkt), o, now_ + 1);
         if (cls == TrafficClass::GuaranteedBandwidth) {
           inputs_[src].advance_gb_pointer(o);
@@ -371,6 +413,13 @@ void CrossbarSwitch::select_requests(
 void CrossbarSwitch::arbitrate() {
   std::vector<PendingRequest> pending;
   select_requests(pending);
+  if (obs_ != nullptr) {
+    for (InputId i = 0; i < pending.size(); ++i) {
+      if (pending[i].out != kNoPort) {
+        obs_->request(now_, i, pending[i].out, pending[i].cls);
+      }
+    }
+  }
 
   std::vector<core::ClassRequest> qos_reqs;
   std::vector<arb::Request> base_reqs;
@@ -431,6 +480,12 @@ void CrossbarSwitch::commit_grant(InputId winner, OutputId o,
     usage_[o].arbitration_cycles += config_.arbitration_cycles;
     usage_[o].transfer_cycles += pkt.length;
   }
+  if (obs_ != nullptr) {
+    obs_->grant(now_, winner, o, cls, pkt.flow, pkt.id, pkt.length,
+                now_ - pkt.buffered, /*chained=*/false);
+    obs_->transfer_start(now_ + config_.arbitration_cycles, winner, o, cls,
+                         pkt.flow, pkt.id, pkt.length);
+  }
   // Arbitration occupies arbitration_cycles (1 for SSVC, 2 for the legacy
   // 4-level design [14]); flits flow once it completes.
   start_transmission(std::move(pkt), o, now_ + config_.arbitration_cycles);
@@ -479,6 +534,9 @@ void CrossbarSwitch::arbitrate_matched() {
         if (in_matched[i]) continue;
         const Packet* h = candidate_for(i, o);
         if (h == nullptr) continue;
+        // Matched mode exposes every ready head; report each (input, output)
+        // candidacy once, on the first matching round.
+        if (iter == 0 && obs_ != nullptr) obs_->request(now_, i, o, h->cls);
         if (config_.mode == ArbitrationMode::SsvcQos) {
           qos_reqs.push_back({i, h->cls, h->length});
         } else {

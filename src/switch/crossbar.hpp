@@ -30,6 +30,7 @@
 
 #include "arb/arbiter.hpp"
 #include "core/output_arbiter.hpp"
+#include "obs/probe.hpp"
 #include "sim/rng.hpp"
 #include "sim/types.hpp"
 #include "stats/latency.hpp"
@@ -102,6 +103,15 @@ class CrossbarSwitch {
   [[nodiscard]] core::OutputQosArbiter& qos_arbiter(OutputId o);
   [[nodiscard]] bool output_idle(OutputId o) const;
 
+  // ---- observability ----
+  /// Attaches (or with nullptr detaches) the observability probe. While
+  /// attached, every packet-lifecycle step and — in SSVC mode — every
+  /// arbitration-internal event is reported; detached, each hook site costs
+  /// a single branch on this pointer (the null-sink fast path). The probe
+  /// must outlive the switch or be detached first.
+  void attach_probe(obs::SwitchProbe* probe);
+  [[nodiscard]] obs::SwitchProbe* probe() const noexcept { return obs_; }
+
  private:
   struct Transmission {
     Packet pkt;
@@ -172,6 +182,7 @@ class CrossbarSwitch {
   std::vector<std::uint64_t> preemptions_;  // per output (PVC mode)
   std::uint64_t wasted_flits_ = 0;
   bool measuring_ = true;
+  obs::SwitchProbe* obs_ = nullptr;  // null = observability off
 };
 
 }  // namespace ssq::sw

@@ -32,14 +32,17 @@ void InputPort::accept(Packet&& pkt, Cycle now) {
   switch (pkt.cls) {
     case TrafficClass::BestEffort:
       be_occ_ += pkt.length;
+      if (be_occ_ > peak_be_) peak_be_ = be_occ_;
       be_q_.push_back(std::move(pkt));
       break;
     case TrafficClass::GuaranteedBandwidth:
       gb_occ_[pkt.dst] += pkt.length;
+      if (gb_occ_[pkt.dst] > peak_gb_) peak_gb_ = gb_occ_[pkt.dst];
       gb_q_[pkt.dst].push_back(std::move(pkt));
       break;
     case TrafficClass::GuaranteedLatency:
       gl_occ_ += pkt.length;
+      if (gl_occ_ > peak_gl_) peak_gl_ = gl_occ_;
       gl_q_.push_back(std::move(pkt));
       break;
   }
@@ -140,6 +143,12 @@ void InputPort::push_front(Packet&& pkt, std::uint32_t drained_flits) {
 std::uint32_t InputPort::gb_occupancy(OutputId dst) const {
   SSQ_EXPECT(dst < radix_);
   return gb_occ_[dst];
+}
+
+std::uint32_t InputPort::gb_total_occupancy() const noexcept {
+  std::uint32_t total = 0;
+  for (const auto occ : gb_occ_) total += occ;
+  return total;
 }
 
 }  // namespace ssq::sw

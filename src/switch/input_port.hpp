@@ -68,6 +68,21 @@ class InputPort {
   [[nodiscard]] std::uint32_t be_occupancy() const noexcept { return be_occ_; }
   [[nodiscard]] std::uint32_t gb_occupancy(OutputId dst) const;
   [[nodiscard]] std::uint32_t gl_occupancy() const noexcept { return gl_occ_; }
+  /// Flits across all GB crosspoint queues (snapshot sampling).
+  [[nodiscard]] std::uint32_t gb_total_occupancy() const noexcept;
+
+  // High-water marks since construction (always maintained — three compares
+  // per accepted packet — so run summaries can report buffer pressure even
+  // without a probe attached).
+  [[nodiscard]] std::uint32_t peak_be_occupancy() const noexcept {
+    return peak_be_;
+  }
+  [[nodiscard]] std::uint32_t peak_gb_occupancy() const noexcept {
+    return peak_gb_;
+  }
+  [[nodiscard]] std::uint32_t peak_gl_occupancy() const noexcept {
+    return peak_gl_;
+  }
 
   /// Rotating preference pointer over GB output queues (used by the request
   /// selection policy; the port owns it so fairness is per-port).
@@ -88,6 +103,9 @@ class InputPort {
   std::uint32_t be_occ_ = 0;
   std::vector<std::uint32_t> gb_occ_;
   std::uint32_t gl_occ_ = 0;
+  std::uint32_t peak_be_ = 0;
+  std::uint32_t peak_gb_ = 0;  // per-crosspoint high-water mark
+  std::uint32_t peak_gl_ = 0;
 
   Cycle free_at_ = 0;
   OutputId gb_ptr_ = 0;

@@ -1,0 +1,35 @@
+#include "switch/observe.hpp"
+
+#include <algorithm>
+
+namespace ssq::sw {
+
+std::vector<obs::PortOccupancy> collect_occupancy(const CrossbarSwitch& sw) {
+  const std::uint32_t radix = sw.config().radix;
+  std::vector<obs::PortOccupancy> occ(radix);
+  for (InputId i = 0; i < radix; ++i) {
+    const InputPort& port = sw.input(i);
+    occ[i].be = port.be_occupancy();
+    occ[i].gb = port.gb_total_occupancy();
+    occ[i].gl = port.gl_occupancy();
+  }
+  return occ;
+}
+
+void run_sampled(CrossbarSwitch& sw, Cycle cycles,
+                 obs::SnapshotSampler& sampler) {
+  SSQ_EXPECT(sw.probe() != nullptr &&
+             "run_sampled needs an attached probe to diff grant counters");
+  const Cycle interval = sampler.interval();
+  while (cycles > 0) {
+    const Cycle to_boundary = interval - (sw.now() % interval);
+    const Cycle chunk = std::min(cycles, to_boundary);
+    sw.run(chunk);
+    cycles -= chunk;
+    if (sw.now() % interval == 0) {
+      sampler.sample(sw.now(), collect_occupancy(sw), *sw.probe());
+    }
+  }
+}
+
+}  // namespace ssq::sw

@@ -1,0 +1,23 @@
+// Glue between the switch and the observability layer: occupancy snapshots
+// and a sampled run loop. Lives in ssq_switch (obs cannot see CrossbarSwitch
+// — it sits below core in the dependency order).
+#pragma once
+
+#include <vector>
+
+#include "obs/snapshot.hpp"
+#include "switch/crossbar.hpp"
+
+namespace ssq::sw {
+
+/// Current per-input-port class-buffer occupancy, in flits.
+[[nodiscard]] std::vector<obs::PortOccupancy> collect_occupancy(
+    const CrossbarSwitch& sw);
+
+/// Steps `cycles` cycles, taking one sampler snapshot whenever the switch
+/// clock crosses a multiple of sampler.interval(). Requires an attached
+/// probe (the sampler diffs its per-output counters).
+void run_sampled(CrossbarSwitch& sw, Cycle cycles,
+                 obs::SnapshotSampler& sampler);
+
+}  // namespace ssq::sw

@@ -1,34 +1,26 @@
 // ssq_sim — standalone command-line driver for the Swizzle Switch QoS
 // simulator. Runs a workload description file (see src/traffic/workload_io)
-// through a configured switch and prints per-flow results.
-//
-//   ssq_sim <workload-file> [options]
-//
-// Options:
-//   --mode=ssvc | lrg | round_robin | age | tdm | wrr | dwrr | wfq |
-//          virtual_clock | multilevel | fixed_priority
-//                         arbitration (default ssvc)
-//   --policy=subtract_real_clock | halve | reset
-//                         SSVC counter management (default subtract)
-//   --level-bits=K --lsb-bits=K --vtick-bits=K --vtick-shift=K
-//                         SSVC counter geometry (defaults 4/5/8/2)
-//   --warmup=N --measure=N   cycles (defaults 5000 / 100000)
-//   --seed=N               RNG seed (default 1)
-//   --arb-cycles=N         arbitration cycles per grant (default 1)
-//   --chaining             enable Packet Chaining (SSVC mode only)
-//   --gsf=FRAME,BARRIER    enable GSF-style source regulation
-//   --from-creation        measure latency from packet creation
-//   --csv                  machine-readable output
+// through a configured switch and prints per-flow results. Run with --help
+// for the full option list; docs/OBSERVABILITY.md describes the trace,
+// metrics and JSON-summary outputs.
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
-#include <vector>
 #include <string_view>
+#include <system_error>
+#include <vector>
 
+#include "obs/json.hpp"
+#include "obs/probe.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
 #include "stats/table.hpp"
+#include "switch/observe.hpp"
 #include "switch/simulator.hpp"
 #include "traffic/workload_io.hpp"
 
@@ -36,11 +28,49 @@ namespace {
 
 using namespace ssq;
 
+constexpr const char* kHelp = R"(usage: ssq_sim <workload-file> [options]
+
+Runs the workload through a configured switch and prints per-flow rates,
+latencies and per-output channel occupancy.
+
+Arbitration:
+  --mode=ssvc | lrg | round_robin | age | tdm | wrr | dwrr | wfq |
+         virtual_clock | multilevel | fixed_priority
+                          output arbitration (default ssvc)
+  --policy=subtract_real_clock | halve | reset
+                          SSVC counter management (default subtract)
+  --level-bits=K --lsb-bits=K --vtick-bits=K --vtick-shift=K
+                          SSVC counter geometry (defaults 4/5/8/2)
+  --arb-cycles=N          arbitration cycles per grant (default 1)
+  --chaining              enable Packet Chaining (SSVC mode only)
+  --gsf=FRAME[,BARRIER]   enable GSF-style source regulation
+
+Run control:
+  --warmup=N              warmup cycles (default 5000)
+  --measure=N             measured cycles (default 100000)
+  --seed=N                RNG seed (default 1)
+  --from-creation         measure latency from packet creation
+
+Output:
+  --csv                   machine-readable tables on stdout
+  --json=FILE             structured run summary (single JSON object)
+
+Observability (see docs/OBSERVABILITY.md):
+  --trace=FILE            event trace; Chrome trace-event JSON, loadable in
+                          Perfetto (a .jsonl suffix selects the JSONL sink)
+  --trace-format=chrome|jsonl
+                          override the suffix-based sink choice
+  --trace-limit=N         stop recording after N events (default unbounded)
+  --metrics=FILE          metrics-registry dump + periodic snapshots (JSON)
+  --metrics-interval=N    snapshot sampling period in cycles (default 5000)
+
+  --help                  print this message and exit
+)";
+
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <workload-file> [--mode=ssvc|lrg|...] "
-               "[--policy=...] [--warmup=N] [--measure=N] [--seed=N] "
-               "[--csv] (see file header for the full list)\n",
+               "usage: %s <workload-file> [options]  (--help for the full "
+               "list)\n",
                argv0);
   std::exit(2);
 }
@@ -55,11 +85,92 @@ std::optional<std::string> opt_value(std::string_view arg,
   return std::string(arg.substr(key.size() + 1));
 }
 
+/// Strict unsigned-integer parse: the whole value must be digits. atoi-style
+/// silent truncation ("--warmup=abc" -> 0) is exactly what this forbids.
+template <typename T>
+T parse_uint(const std::string& value, std::string_view option) {
+  T out{};
+  const char* first = value.data();
+  const char* last = first + value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (value.empty() || ec != std::errc{} || ptr != last) {
+    std::fprintf(stderr,
+                 "ssq_sim: invalid value '%s' for %.*s (expected an unsigned "
+                 "integer)\n",
+                 value.c_str(), static_cast<int>(option.size()),
+                 option.data());
+    std::exit(2);
+  }
+  return out;
+}
+
+std::ofstream open_or_die(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "ssq_sim: cannot open '%s' for writing\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  return os;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+void write_json_summary(std::ostream& os, const std::string& workload_path,
+                        const std::string& mode_name, Cycle warmup,
+                        const sw::CrossbarSwitch& sim,
+                        const sw::ExperimentResult& r) {
+  const auto& cfg = sim.config();
+  os << "{\"schema\":\"ssq.run.v1\",\"workload\":"
+     << obs::json_quote(workload_path) << ",\"mode\":"
+     << obs::json_quote(mode_name) << ",\"radix\":" << cfg.radix
+     << ",\"seed\":" << cfg.seed << ",\"warmup_cycles\":" << warmup
+     << ",\"measured_cycles\":" << r.measured_cycles
+     << ",\"total_accepted_rate\":"
+     << obs::json_number(r.total_accepted_rate) << ",\"flows\":[";
+  for (std::size_t i = 0; i < r.flows.size(); ++i) {
+    const auto& f = r.flows[i];
+    if (i) os << ',';
+    os << "\n{\"flow\":" << f.flow << ",\"src\":" << f.src << ",\"dst\":"
+       << f.dst << ",\"class\":" << obs::json_quote(to_string(f.cls))
+       << ",\"reserved_rate\":" << obs::json_number(f.reserved_rate)
+       << ",\"offered_rate\":" << obs::json_number(f.offered_rate)
+       << ",\"accepted_rate\":" << obs::json_number(f.accepted_rate)
+       << ",\"mean_latency\":" << obs::json_number(f.mean_latency)
+       << ",\"p95_latency\":" << obs::json_number(f.p95_latency)
+       << ",\"max_latency\":" << obs::json_number(f.max_latency)
+       << ",\"mean_wait\":" << obs::json_number(f.mean_wait)
+       << ",\"max_wait\":" << obs::json_number(f.max_wait)
+       << ",\"delivered_packets\":" << f.delivered_packets
+       << ",\"max_source_backlog\":" << sim.max_source_backlog(f.flow)
+       << "}";
+  }
+  os << "],\"outputs\":[";
+  for (OutputId o = 0; o < cfg.radix; ++o) {
+    const auto u = sim.channel_usage(o);
+    if (o) os << ',';
+    os << "\n{\"output\":" << o << ",\"arbitration_cycles\":"
+       << u.arbitration_cycles << ",\"transfer_cycles\":" << u.transfer_cycles
+       << ",\"preemptions\":" << sim.preemptions(o) << "}";
+  }
+  os << "],\"inputs\":[";
+  for (InputId i = 0; i < cfg.radix; ++i) {
+    const auto& port = sim.input(i);
+    if (i) os << ',';
+    os << "\n{\"input\":" << i << ",\"peak_be_flits\":"
+       << port.peak_be_occupancy() << ",\"peak_gb_flits\":"
+       << port.peak_gb_occupancy() << ",\"peak_gl_flits\":"
+       << port.peak_gl_occupancy() << "}";
+  }
+  os << "],\"wasted_flits\":" << sim.wasted_flits() << "}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) usage(argv[0]);
-
   std::string workload_path;
   sw::SwitchConfig config;
   config.ssvc.level_bits = 4;
@@ -68,10 +179,19 @@ int main(int argc, char** argv) {
   Cycle warmup = 5000;
   Cycle measure = 100000;
   bool csv = false;
+  std::string trace_path;
+  std::string trace_format;  // "", "chrome" or "jsonl"
+  std::uint64_t trace_limit = obs::Tracer::kNoLimit;
+  std::string metrics_path;
+  Cycle metrics_interval = 5000;
+  std::string json_path;
 
   for (int a = 1; a < argc; ++a) {
     const std::string_view arg = argv[a];
-    if (arg == "--csv") {
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kHelp, stdout);
+      return 0;
+    } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--chaining") {
       config.packet_chaining = true;
@@ -95,31 +215,56 @@ int main(int argc, char** argv) {
         usage(argv[0]);
       }
     } else if (auto v3 = opt_value(arg, "--level-bits")) {
-      config.ssvc.level_bits = static_cast<std::uint32_t>(std::atoi(v3->c_str()));
+      config.ssvc.level_bits = parse_uint<std::uint32_t>(*v3, "--level-bits");
     } else if (auto v4 = opt_value(arg, "--lsb-bits")) {
-      config.ssvc.lsb_bits = static_cast<std::uint32_t>(std::atoi(v4->c_str()));
+      config.ssvc.lsb_bits = parse_uint<std::uint32_t>(*v4, "--lsb-bits");
     } else if (auto v5 = opt_value(arg, "--vtick-bits")) {
-      config.ssvc.vtick_bits = static_cast<std::uint32_t>(std::atoi(v5->c_str()));
+      config.ssvc.vtick_bits = parse_uint<std::uint32_t>(*v5, "--vtick-bits");
     } else if (auto v6 = opt_value(arg, "--vtick-shift")) {
-      config.ssvc.vtick_shift = static_cast<std::uint32_t>(std::atoi(v6->c_str()));
+      config.ssvc.vtick_shift =
+          parse_uint<std::uint32_t>(*v6, "--vtick-shift");
     } else if (auto v7 = opt_value(arg, "--warmup")) {
-      warmup = static_cast<Cycle>(std::atoll(v7->c_str()));
+      warmup = parse_uint<Cycle>(*v7, "--warmup");
     } else if (auto v8 = opt_value(arg, "--measure")) {
-      measure = static_cast<Cycle>(std::atoll(v8->c_str()));
+      measure = parse_uint<Cycle>(*v8, "--measure");
     } else if (auto v9 = opt_value(arg, "--seed")) {
-      config.seed = static_cast<std::uint64_t>(std::atoll(v9->c_str()));
+      config.seed = parse_uint<std::uint64_t>(*v9, "--seed");
     } else if (auto v10 = opt_value(arg, "--arb-cycles")) {
       config.arbitration_cycles =
-          static_cast<std::uint32_t>(std::atoi(v10->c_str()));
+          parse_uint<std::uint32_t>(*v10, "--arb-cycles");
     } else if (auto v11 = opt_value(arg, "--gsf")) {
       config.gsf.enabled = true;
-      char* end = nullptr;
-      config.gsf.frame_cycles = std::strtoull(v11->c_str(), &end, 10);
-      if (end == v11->c_str()) usage(argv[0]);
-      if (*end == ',') {
-        config.gsf.barrier_cycles = std::strtoull(end + 1, nullptr, 10);
+      const auto comma = v11->find(',');
+      if (comma == std::string::npos) {
+        config.gsf.frame_cycles = parse_uint<Cycle>(*v11, "--gsf");
+      } else {
+        config.gsf.frame_cycles =
+            parse_uint<Cycle>(v11->substr(0, comma), "--gsf");
+        config.gsf.barrier_cycles =
+            parse_uint<Cycle>(v11->substr(comma + 1), "--gsf");
       }
+    } else if (auto v12 = opt_value(arg, "--trace")) {
+      trace_path = *v12;
+      if (trace_path.empty()) usage(argv[0]);
+    } else if (auto v13 = opt_value(arg, "--trace-format")) {
+      if (*v13 != "chrome" && *v13 != "jsonl") usage(argv[0]);
+      trace_format = *v13;
+    } else if (auto v14 = opt_value(arg, "--trace-limit")) {
+      trace_limit = parse_uint<std::uint64_t>(*v14, "--trace-limit");
+    } else if (auto v15 = opt_value(arg, "--metrics")) {
+      metrics_path = *v15;
+      if (metrics_path.empty()) usage(argv[0]);
+    } else if (auto v16 = opt_value(arg, "--metrics-interval")) {
+      metrics_interval = parse_uint<Cycle>(*v16, "--metrics-interval");
+      if (metrics_interval == 0) {
+        std::fprintf(stderr, "ssq_sim: --metrics-interval must be >= 1\n");
+        return 2;
+      }
+    } else if (auto v17 = opt_value(arg, "--json")) {
+      json_path = *v17;
+      if (json_path.empty()) usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ssq_sim: unknown option '%s'\n", argv[a]);
       usage(argv[0]);
     } else if (workload_path.empty()) {
       workload_path = std::string(arg);
@@ -147,12 +292,57 @@ int main(int argc, char** argv) {
   // Run manually so per-channel usage stays accessible afterwards.
   const auto radix = config.radix;
   sw::CrossbarSwitch sim(config, std::move(workload));
-  sim.warmup(warmup);
+
+  // Observability: one probe feeds the tracer, the metrics registry and the
+  // snapshot sampler. With no sink flags nothing is attached and the hot
+  // path keeps its null-probe fast path.
+  const bool want_obs = !trace_path.empty() || !metrics_path.empty();
+  std::unique_ptr<obs::SwitchProbe> probe;
+  std::ofstream trace_os;
+  std::unique_ptr<obs::TraceSink> trace_sink;
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::SnapshotSampler> sampler;
+  if (want_obs) {
+    probe = std::make_unique<obs::SwitchProbe>(
+        radix, metrics_path.empty() ? 0 : metrics_interval);
+    if (!trace_path.empty()) {
+      trace_os = open_or_die(trace_path);
+      const bool jsonl = trace_format.empty()
+                             ? ends_with(trace_path, ".jsonl")
+                             : trace_format == "jsonl";
+      if (jsonl) {
+        trace_sink = std::make_unique<obs::JsonlSink>(trace_os);
+      } else {
+        trace_sink = std::make_unique<obs::ChromeTraceSink>(trace_os, radix);
+      }
+      tracer = std::make_unique<obs::Tracer>(*trace_sink, trace_limit);
+      probe->set_tracer(tracer.get());
+    }
+    if (!metrics_path.empty()) {
+      sampler = std::make_unique<obs::SnapshotSampler>(radix,
+                                                       metrics_interval);
+    }
+    sim.attach_probe(probe.get());
+  }
+
+  // With sampling, warmup(0)/measure(0) only flip the measurement window so
+  // the snapshots span warmup and measurement alike.
+  if (sampler) {
+    sw::run_sampled(sim, warmup, *sampler);
+    sim.warmup(0);
+  } else {
+    sim.warmup(warmup);
+  }
   std::vector<std::uint64_t> created_at_open;
   for (FlowId f = 0; f < sim.workload().num_flows(); ++f) {
     created_at_open.push_back(sim.created_packets(f));
   }
-  sim.measure(measure);
+  if (sampler) {
+    sw::run_sampled(sim, measure, *sampler);
+    sim.measure(0);
+  } else {
+    sim.measure(measure);
+  }
   auto r = sw::summarize(sim);
   for (FlowId f = 0; f < sim.workload().num_flows(); ++f) {
     const auto created = sim.created_packets(f) - created_at_open[f];
@@ -204,6 +394,33 @@ int main(int argc, char** argv) {
   if (!csv) {
     std::cout << "total accepted: " << r.total_accepted_rate
               << " flits/cycle over " << r.measured_cycles << " cycles\n";
+  }
+
+  if (tracer) {
+    tracer->finish();
+    if (!csv) {
+      std::cout << "trace: " << trace_path << " (" << tracer->emitted()
+                << " events";
+      if (tracer->dropped() > 0) {
+        std::cout << ", " << tracer->dropped() << " dropped by --trace-limit";
+      }
+      std::cout << ")\n";
+    }
+  }
+  if (!metrics_path.empty()) {
+    auto os = open_or_die(metrics_path);
+    os << "{\"schema\":\"ssq.metrics.v1\",\"workload\":"
+       << obs::json_quote(workload_path) << ",\"snapshots\":";
+    sampler->write_json(os);
+    os << ",\"metrics\":";
+    probe->metrics().write_json(os);
+    os << "}\n";
+    if (!csv) std::cout << "metrics: " << metrics_path << "\n";
+  }
+  if (!json_path.empty()) {
+    auto os = open_or_die(json_path);
+    write_json_summary(os, workload_path, mode_name, warmup, sim, r);
+    if (!csv) std::cout << "summary: " << json_path << "\n";
   }
   return 0;
 }
