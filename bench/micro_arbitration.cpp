@@ -18,6 +18,9 @@
 #include "circuit/circuit_arbiter.hpp"
 #include "common.hpp"
 #include "core/output_arbiter.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "fault/scrubber.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
 #include "sim/rng.hpp"
@@ -138,6 +141,39 @@ void BM_SwitchStep(benchmark::State& state, ObsMode mode) {
                           static_cast<std::int64_t>(kChunk));
 }
 
+// Same stepping workload with the fault subsystem in its three states:
+// detached (the default null-pointer fast path — must be within noise of
+// BM_SwitchStep/obs_off), attached with an empty plan (outage checks only),
+// and actively injecting with scrubbing on.
+enum class FaultMode { Detached, EmptyPlan, Active };
+
+void BM_SwitchStepFaults(benchmark::State& state, FaultMode mode) {
+  const std::vector<double> rates = {0.40, 0.20, 0.10, 0.10,
+                                     0.05, 0.05, 0.05, 0.05};
+  traffic::Workload w(8);
+  for (InputId i = 0; i < 8; ++i) {
+    w.add_flow(bench::make_gb_flow(i, 0, rates[i], 8, 0.9));
+  }
+  sw::CrossbarSwitch sim(bench::paper_switch_config(), std::move(w));
+
+  fault::FaultPlan plan;
+  if (mode == FaultMode::Active) plan.bitflip_rate = 1e-3;
+  fault::FaultInjector injector(plan);
+  fault::StateScrubber scrubber(/*interval=*/256);
+  if (mode != FaultMode::Detached) {
+    sim.attach_fault_injector(&injector);
+    if (mode == FaultMode::Active) sim.attach_scrubber(&scrubber);
+  }
+
+  constexpr Cycle kChunk = 1000;
+  for (auto _ : state) {
+    sim.run(kChunk);
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kChunk));
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_BaselineArbiter, lrg, ssq::arb::Kind::Lrg)
@@ -154,5 +190,9 @@ BENCHMARK(BM_CircuitArbitrate)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 BENCHMARK_CAPTURE(BM_SwitchStep, obs_off, ObsMode::Off);
 BENCHMARK_CAPTURE(BM_SwitchStep, obs_metrics, ObsMode::Metrics);
 BENCHMARK_CAPTURE(BM_SwitchStep, obs_trace_null_sink, ObsMode::Trace);
+BENCHMARK_CAPTURE(BM_SwitchStepFaults, fault_detached, FaultMode::Detached);
+BENCHMARK_CAPTURE(BM_SwitchStepFaults, fault_empty_plan, FaultMode::EmptyPlan);
+BENCHMARK_CAPTURE(BM_SwitchStepFaults, fault_active_scrubbed,
+                  FaultMode::Active);
 
 BENCHMARK_MAIN();

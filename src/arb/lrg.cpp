@@ -1,5 +1,6 @@
 #include "arb/lrg.hpp"
 
+#include <algorithm>
 #include <bit>
 
 namespace ssq::arb {
@@ -45,6 +46,22 @@ InputId LrgArbiter::pick(std::span<const Request> requests, Cycle /*now*/) {
     const std::uint64_t others = mask & ~(1ULL << r.input);
     if ((rows_[r.input] & others) == others) return r.input;
   }
+  if (fault_tolerant_) {
+    // Corrupted matrix: no requester beats all the others. Degrade to the
+    // requester that beats the most other requesters (first in request order
+    // on ties) — bounded unfairness until the scrubber repairs the order.
+    InputId best = requests.front().input;
+    int best_deg = -1;
+    for (const auto& r : requests) {
+      const std::uint64_t others = mask & ~(1ULL << r.input);
+      const int deg = std::popcount(rows_[r.input] & others);
+      if (deg > best_deg) {
+        best_deg = deg;
+        best = r.input;
+      }
+    }
+    return best;
+  }
   SSQ_ENSURE(false && "LRG matrix lost its total order");
   return kNoPort;
 }
@@ -64,6 +81,33 @@ void LrgArbiter::set_matrix(const std::vector<std::uint64_t>& rows) {
   SSQ_EXPECT(rows.size() == radix());
   rows_ = rows;
   SSQ_EXPECT(is_total_order());
+}
+
+void LrgArbiter::fault_flip(InputId i, InputId j) {
+  SSQ_EXPECT(i < radix() && j < radix());
+  rows_[i] ^= 1ULL << j;
+}
+
+bool LrgArbiter::repair_order() {
+  if (is_total_order()) return false;
+  const std::uint32_t n = radix();
+  // Rank by surviving out-degree: the input whose row still claims the most
+  // wins becomes most-preferred. Ties go to the lower index.
+  std::vector<InputId> order(n);
+  for (InputId i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](InputId a, InputId b) {
+    return std::popcount(rows_[a]) > std::popcount(rows_[b]);
+  });
+  // Rewrite the matrix as exactly that total order.
+  std::uint64_t remaining = 0;
+  for (InputId i = 0; i < n; ++i) remaining |= 1ULL << i;
+  for (InputId k = 0; k < n; ++k) {
+    const InputId who = order[k];
+    remaining &= ~(1ULL << who);
+    rows_[who] = remaining;
+  }
+  SSQ_ENSURE(is_total_order());
+  return true;
 }
 
 bool LrgArbiter::is_total_order() const {

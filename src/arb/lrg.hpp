@@ -46,8 +46,29 @@ class LrgArbiter final : public Arbiter {
   /// by rank consistency).
   [[nodiscard]] bool is_total_order() const;
 
+  // ---- fault injection / scrubbing (hardware DFT surface) ----
+
+  /// Flips bit `j` of row `i` — a soft error in one crosspoint priority
+  /// flop. Breaks the total order until repair_order() rebuilds it.
+  void fault_flip(InputId i, InputId j);
+
+  /// Rebuilds a strict total order from a corrupted matrix: inputs are
+  /// ranked by surviving out-degree (ties broken toward the lower index, the
+  /// hardware's wired tie-break) and the matrix rewritten to that order —
+  /// the closest consistent state to what the flipped flops still encode.
+  /// Returns true iff the matrix was actually repaired.
+  bool repair_order();
+
+  /// Fault-tolerant mode: pick() on a matrix that has lost its total order
+  /// degrades to the max-out-degree requester instead of aborting. Enabled
+  /// by the fault subsystem when an injector is attached; detached operation
+  /// keeps the strict abort so silent corruption cannot skew results.
+  void set_fault_tolerant(bool on) noexcept { fault_tolerant_ = on; }
+  [[nodiscard]] bool fault_tolerant() const noexcept { return fault_tolerant_; }
+
  private:
   std::vector<std::uint64_t> rows_;
+  bool fault_tolerant_ = false;
 };
 
 }  // namespace ssq::arb

@@ -4,8 +4,31 @@
 
 namespace ssq::circuit {
 
-CircuitArbiter::CircuitArbiter(const LaneLayout& layout) : layout_(layout) {
+CircuitArbiter::CircuitArbiter(const LaneLayout& layout)
+    : layout_(layout),
+      stuck_low_(layout.bus_width),
+      stuck_high_(layout.bus_width) {
   layout_.validate();
+}
+
+void CircuitArbiter::set_stuck_low(std::uint32_t wire) {
+  SSQ_EXPECT(wire < layout_.bus_width);
+  stuck_high_.clear(wire);
+  stuck_low_.set(wire);
+  any_stuck_ = true;
+}
+
+void CircuitArbiter::set_stuck_high(std::uint32_t wire) {
+  SSQ_EXPECT(wire < layout_.bus_width);
+  stuck_low_.clear(wire);
+  stuck_high_.set(wire);
+  any_stuck_ = true;
+}
+
+void CircuitArbiter::clear_stuck() {
+  stuck_low_.clear_all();
+  stuck_high_.clear_all();
+  any_stuck_ = false;
 }
 
 ArbitrationTrace CircuitArbiter::arbitrate(
@@ -25,21 +48,26 @@ ArbitrationTrace CircuitArbiter::arbitrate(
   ArbitrationTrace trace(layout_.bus_width);
 
   // Phase 1+2 — precharge then wired-OR discharge. `bitlines` records
-  // discharges; a clear bit is a still-charged wire.
+  // discharges; a clear bit is a still-charged wire. A stuck-at-0 wire
+  // behaves as if some crosspoint always discharged it.
+  if (any_stuck_) trace.bitlines |= stuck_low_;
   for (const auto& r : requests) {
     core::ThermometerCode code(layout_.gb_lanes, r.level);
     trace.bitlines |=
         discharge_vector(layout_, r.kind, code, lrg.row(r.input));
   }
 
-  // Phase 3 — sense.
+  // Phase 3 — sense. A stuck-at-1 wire reads charged no matter what was
+  // driven onto it.
   trace.sensed_wire.reserve(requests.size());
   trace.sensed_charged.reserve(requests.size());
   std::uint32_t winners = 0;
   for (const auto& r : requests) {
     core::ThermometerCode code(layout_.gb_lanes, r.level);
     const std::uint32_t wire = sense_wire(layout_, r.kind, code, r.input);
-    const bool charged = !trace.bitlines.get(wire);
+    const bool charged =
+        any_stuck_ ? (stuck_high_.get(wire) || !trace.bitlines.get(wire))
+                   : !trace.bitlines.get(wire);
     trace.sensed_wire.push_back(wire);
     trace.sensed_charged.push_back(charged);
     if (charged) {
@@ -47,8 +75,23 @@ ArbitrationTrace CircuitArbiter::arbitrate(
       ++winners;
     }
   }
-  SSQ_ENSURE(winners == 1 && "inhibit arbitration must leave exactly one "
-                             "charged sense wire");
+  if (!any_stuck_) {
+    SSQ_ENSURE(winners == 1 && "inhibit arbitration must leave exactly one "
+                               "charged sense wire");
+  } else if (winners > 1) {
+    // Multi-claim from a stuck-at-1 wire: the grant encoder's wired priority
+    // resolves to the lowest claiming input index.
+    InputId best = kNoPort;
+    for (std::size_t k = 0; k < requests.size(); ++k) {
+      if (trace.sensed_charged[k] && requests[k].input < best) {
+        best = requests[k].input;
+      }
+    }
+    trace.winner = best;
+  } else if (winners == 0) {
+    // Every claimant lost to a stuck-at-0 wire: no grant this cycle.
+    trace.winner = kNoPort;
+  }
   return trace;
 }
 

@@ -62,8 +62,28 @@ class CircuitArbiter {
 
   [[nodiscard]] const LaneLayout& layout() const noexcept { return layout_; }
 
+  // ---- fault injection: stuck-at bitlines ----
+  //
+  // A stuck-at-0 wire is permanently discharged: every sense amp on it reads
+  // "lost", so requests routed there can never win. A stuck-at-1 wire is
+  // permanently charged: every claimant reads "won", the single-winner
+  // invariant breaks, and the grant encoder's wired priority resolves the
+  // multi-claim to the lowest input index. With no stuck wires the strict
+  // invariant is enforced exactly as before.
+
+  /// Marks bitline `wire` stuck-at-0 (clears any stuck-at-1 on it).
+  void set_stuck_low(std::uint32_t wire);
+  /// Marks bitline `wire` stuck-at-1 (clears any stuck-at-0 on it).
+  void set_stuck_high(std::uint32_t wire);
+  /// Heals all stuck wires (tests / repair-what-if experiments).
+  void clear_stuck();
+  [[nodiscard]] bool any_stuck() const noexcept { return any_stuck_; }
+
  private:
   LaneLayout layout_;
+  BusBits stuck_low_;
+  BusBits stuck_high_;
+  bool any_stuck_ = false;
 };
 
 /// Golden reference: the same decision computed directly from levels and the

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/contracts.hpp"
+#include "sim/error.hpp"
 #include "sim/types.hpp"
 
 namespace ssq::core {
@@ -51,10 +52,15 @@ struct OutputAllocation {
     return gb_total() + gl_rate <= 1.0 + 1e-9;
   }
 
+  /// Throws ssq::ConfigError: the allocation is user configuration (workload
+  /// files, CLI flags), not an internal invariant.
   void validate(std::uint32_t radix) const {
-    SSQ_EXPECT(admissible(radix));
-    SSQ_EXPECT(gb_packet_len >= 1);
-    SSQ_EXPECT(gl_packet_len >= 1);
+    detail::config_check(
+        admissible(radix),
+        "output allocation not admissible: reservations out of range or "
+        "over-subscribed (sum of GB rates + GL rate > 1)");
+    detail::config_check(gb_packet_len >= 1, "gb_packet_len must be >= 1");
+    detail::config_check(gl_packet_len >= 1, "gl_packet_len must be >= 1");
   }
 };
 

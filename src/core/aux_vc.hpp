@@ -51,6 +51,13 @@ class AuxVc {
 
   [[nodiscard]] const ThermometerCode& code() const noexcept { return code_; }
 
+  /// Level the arbitration actually senses: the (possibly fault-corrupted)
+  /// thermometer vector's top lane. Equals level() while the state is clean
+  /// — the invariant the scrubber restores after a fault.
+  [[nodiscard]] std::uint32_t arb_level() const noexcept {
+    return code_.effective_level();
+  }
+
   /// Commits one packet grant at epoch-relative real time `rt`.
   /// Returns true iff the counter saturated: either the register hit its cap
   /// or the thermometer code was pushed to (or past) the top lane — the
@@ -71,6 +78,7 @@ class AuxVc {
       }
     }
     value_ = v;
+    parity_ = value_parity();
     code_.set_level(level());
     // Thermometer shift-up overflow also counts as saturation — except for
     // the None policy, whose (unbounded) counter simply clamps its level.
@@ -84,23 +92,30 @@ class AuxVc {
   /// Subtract-real-clock policy, epoch wrap: MSB value drops by one
   /// (value -= 2^lsb_bits, floored at 0); thermometer shifts down one lane.
   void epoch_wrap() noexcept {
+    // The incremental-update invariant only holds from a clean state: an
+    // injected upset legitimately breaks it until the scrubber repairs it.
+    const bool was_clean = !corrupted();
     const std::uint64_t epoch = params_.epoch_cycles();
     value_ = value_ >= epoch ? value_ - epoch : 0;
+    parity_ = value_parity();
     code_.shift_down();
-    SSQ_ENSURE(code_.level() == level());
+    SSQ_ENSURE(!was_clean || code_.level() == level());
   }
 
   /// Halve policy: register shifted down one position; thermometer top half
   /// copied to bottom half (level halves).
   void halve() noexcept {
+    const bool was_clean = !corrupted();
     value_ >>= 1;
+    parity_ = value_parity();
     code_.halve();
-    SSQ_ENSURE(code_.level() == level());
+    SSQ_ENSURE(!was_clean || code_.level() == level());
   }
 
   /// Reset policy: register and thermometer cleared.
   void reset() noexcept {
     value_ = 0;
+    parity_ = false;
     code_.reset();
   }
 
@@ -109,11 +124,73 @@ class AuxVc {
     vtick_ = vtick_cycles;
   }
 
+  // ---- fault injection / scrubbing (hardware DFT surface) ----
+  //
+  // The register is parity-protected the way a scrub-capable SRAM macro
+  // would be: every legitimate write refreshes the parity bit, a particle
+  // strike does not. The scrubber exploits two invariants — stored parity
+  // matches the register, and the thermometer vector is the encoding of the
+  // register's MSBs — to detect any single-bit upset in either structure.
+
+  /// Width of the protected register in bits (level_bits + lsb_bits).
+  [[nodiscard]] std::uint32_t register_bits() const noexcept {
+    return params_.level_bits + params_.lsb_bits;
+  }
+
+  /// Flips register bit `bit` without refreshing parity — the fault.
+  void fault_flip_value(std::uint32_t bit) noexcept {
+    if (bit < register_bits()) value_ ^= 1ULL << bit;
+  }
+
+  /// Flips thermometer-vector cell `bit` — the fault.
+  void fault_flip_code(std::uint32_t bit) noexcept { code_.fault_flip(bit); }
+
+  /// What one scrub pass found (and did) for this crosspoint.
+  enum class ScrubOutcome : std::uint8_t {
+    Clean = 0,
+    /// Thermometer vector disagreed with the register; rewritten from the
+    /// register MSBs — an exact repair.
+    CodeRepaired,
+    /// Register parity mismatch: the value itself is untrustworthy, so it is
+    /// re-synchronised to the epoch-relative real time `rt` (a neutral
+    /// virtual clock neither ahead nor behind) and the thermometer rewritten.
+    ValueReset,
+  };
+
+  /// Checks both invariants and repairs in place. `rt` is the arbiter's
+  /// current epoch-relative real time, used as the neutral reset value.
+  ScrubOutcome scrub(std::uint64_t rt) noexcept {
+    const bool parity_ok = parity_ == value_parity();
+    const bool code_ok = !code_.corrupted() && code_.level() == level();
+    if (parity_ok && code_ok) return ScrubOutcome::Clean;
+    if (!parity_ok) {
+      value_ = rt < cap_ ? rt : cap_;
+      parity_ = value_parity();
+      code_.clear_corruption();
+      code_.set_level(level());
+      return ScrubOutcome::ValueReset;
+    }
+    code_.clear_corruption();
+    code_.set_level(level());
+    return ScrubOutcome::CodeRepaired;
+  }
+
+  /// True iff a scrub pass at this instant would find corruption.
+  [[nodiscard]] bool corrupted() const noexcept {
+    return parity_ != value_parity() || code_.corrupted() ||
+           code_.level() != level();
+  }
+
  private:
+  [[nodiscard]] bool value_parity() const noexcept {
+    return __builtin_parityll(value_) != 0;
+  }
+
   SsvcParams params_;
   std::uint64_t vtick_;
   std::uint64_t cap_;
   std::uint64_t value_ = 0;
+  bool parity_ = false;  // stored parity bit, refreshed on legitimate writes
   ThermometerCode code_;
 };
 

@@ -81,6 +81,30 @@ class GlTracker {
 
   void reset() noexcept { vc_ = 0; }
 
+  // ---- fault injection / scrubbing (hardware DFT surface) ----
+
+  /// Flips bit `bit` of the virtual-clock register — the fault.
+  void fault_flip(std::uint32_t bit) noexcept { vc_ ^= 1ULL << (bit & 63); }
+
+  /// Budget sanity: under Stall policing a clean clock can never run more
+  /// than one grant past the eligibility budget, because an ineligible class
+  /// is never granted — so vc <= now + vtick*(allowance+1) always holds.
+  /// Demote/None legitimately let the clock run arbitrarily far ahead, so no
+  /// bound exists and sane() is vacuously true there.
+  [[nodiscard]] bool sane(Cycle now) const noexcept {
+    if (!enabled() || policing_ != GlPolicing::Stall) return true;
+    return vc_ <= now + vtick_ * (allowance_ + 1ULL);
+  }
+
+  /// Scrub pass: a clock past the Stall-policing bound is corrupt and is
+  /// rewound to `now` (compliant and neutral — neither grants the class a
+  /// burst nor stalls it spuriously). Returns true iff a repair happened.
+  bool scrub(Cycle now) noexcept {
+    if (sane(now)) return false;
+    vc_ = now;
+    return true;
+  }
+
  private:
   std::uint64_t vtick_;
   std::uint32_t allowance_;

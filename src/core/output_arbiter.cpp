@@ -1,6 +1,7 @@
 #include "core/output_arbiter.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "obs/probe.hpp"
 
@@ -51,6 +52,17 @@ const AuxVc& OutputQosArbiter::aux_vc(InputId i) const {
 std::uint32_t OutputQosArbiter::gb_level(InputId i) const {
   SSQ_EXPECT(i < radix_);
   return gb_vc_[i].level();
+}
+
+AuxVc& OutputQosArbiter::aux_vc_mut(InputId i) {
+  SSQ_EXPECT(i < radix_);
+  return gb_vc_[i];
+}
+
+std::uint32_t OutputQosArbiter::sensed_gb_level(InputId i) const {
+  SSQ_EXPECT(i < radix_);
+  const std::uint32_t lvl = gb_vc_[i].arb_level();
+  return lane_map_.empty() ? lvl : lane_map_[lvl];
 }
 
 void OutputQosArbiter::advance_to(Cycle now) {
@@ -106,6 +118,21 @@ InputId OutputQosArbiter::lrg_pick(std::span<const ClassRequest> reqs) const {
     const std::uint64_t others = mask & ~(1ULL << r.input);
     if ((lrg_.row(r.input) & others) == others) return r.input;
   }
+  if (lrg_.fault_tolerant()) {
+    // Corrupted matrix: degrade to the max-out-degree requester (first in
+    // request order on ties) until the scrubber rebuilds the total order.
+    InputId best = reqs.front().input;
+    int best_deg = -1;
+    for (const auto& r : reqs) {
+      const std::uint64_t others = mask & ~(1ULL << r.input);
+      const int deg = std::popcount(lrg_.row(r.input) & others);
+      if (deg > best_deg) {
+        best_deg = deg;
+        best = r.input;
+      }
+    }
+    return best;
+  }
   SSQ_ENSURE(false && "LRG matrix lost its total order");
   return kNoPort;
 }
@@ -148,17 +175,20 @@ InputId OutputQosArbiter::pick(std::span<const ClassRequest> requests,
   }
 
   // Stage 2 — GB: smallest thermometer level wins; LRG breaks ties in-lane.
+  // The comparison reads the *sensed* level — the stored thermometer vector
+  // (which a fault may have corrupted) through the quarantine remap — not
+  // the logical register, because that is what the bitlines discharge on.
   bucket.clear();
   std::uint32_t min_level = params_.gb_levels();
   for (const auto& r : requests) {
     if (r.cls != TrafficClass::GuaranteedBandwidth) continue;
     SSQ_EXPECT(alloc_.gb_rate[r.input] > 0.0 &&
                "GB request from an input with no reservation");
-    min_level = std::min(min_level, gb_vc_[r.input].level());
+    min_level = std::min(min_level, sensed_gb_level(r.input));
   }
   for (const auto& r : requests) {
     if (r.cls == TrafficClass::GuaranteedBandwidth &&
-        gb_vc_[r.input].level() == min_level) {
+        sensed_gb_level(r.input) == min_level) {
       bucket.push_back(r);
     }
   }
@@ -228,6 +258,51 @@ void OutputQosArbiter::on_grant(InputId input, TrafficClass cls,
     case TrafficClass::BestEffort:
       break;
   }
+}
+
+void OutputQosArbiter::quarantine_lane(std::uint32_t lane) {
+  SSQ_EXPECT(lane < params_.gb_levels());
+  if ((quarantined_ >> lane) & 1ULL) return;
+  quarantined_ |= 1ULL << lane;
+  // Remap each level to its rank among the healthy lanes below it: the
+  // quarantined lane's occupants land on the nearest healthy lane beneath,
+  // compressing the code to fewer distinct levels.
+  const std::uint32_t n = params_.gb_levels();
+  lane_map_.assign(n, 0);
+  for (std::uint32_t l = 1; l < n; ++l) {
+    const std::uint64_t healthy_below = ~quarantined_ & ((1ULL << l) - 1);
+    lane_map_[l] = static_cast<std::uint32_t>(std::popcount(healthy_below));
+  }
+  if (probe_ != nullptr) probe_->lane_quarantined(last_now_, self_, lane);
+}
+
+std::uint32_t OutputQosArbiter::scrub(Cycle now) {
+  advance_to(now);
+  std::uint32_t repairs = 0;
+  for (InputId i = 0; i < radix_; ++i) {
+    const auto outcome = gb_vc_[i].scrub(rt_);
+    if (outcome == AuxVc::ScrubOutcome::Clean) continue;
+    ++repairs;
+    if (probe_ != nullptr) {
+      probe_->scrub_repair(now, self_, i,
+                           outcome == AuxVc::ScrubOutcome::ValueReset
+                               ? obs::kRepairAuxValue
+                               : obs::kRepairAuxCode);
+    }
+  }
+  if (lrg_.repair_order()) {
+    ++repairs;
+    if (probe_ != nullptr) {
+      probe_->scrub_repair(now, self_, kNoPort, obs::kRepairLrgOrder);
+    }
+  }
+  if (gl_.scrub(now)) {
+    ++repairs;
+    if (probe_ != nullptr) {
+      probe_->scrub_repair(now, self_, kNoPort, obs::kRepairGlClock);
+    }
+  }
+  return repairs;
 }
 
 void OutputQosArbiter::reset() {

@@ -98,6 +98,33 @@ class OutputQosArbiter {
   /// Epoch-relative real time at the last advance_to().
   [[nodiscard]] std::uint64_t epoch_rt() const noexcept { return rt_; }
 
+  // ---- fault injection / recovery (driven by src/fault) ----
+
+  /// Mutable crosspoint state, for the fault injector and scrubber only.
+  [[nodiscard]] AuxVc& aux_vc_mut(InputId i);
+  [[nodiscard]] GlTracker& gl_tracker_mut() noexcept { return gl_; }
+
+  /// GB level arbitration actually senses for input `i`: the (possibly
+  /// corrupted) thermometer read, then the quarantine remap. Equals
+  /// gb_level(i) while the state is clean and no lane is quarantined.
+  [[nodiscard]] std::uint32_t sensed_gb_level(InputId i) const;
+
+  /// Takes GB lane `lane` out of service: its occupants merge into the
+  /// nearest healthy lane below, so arbitration keeps a total (if coarser)
+  /// priority order and LRG absorbs the lost resolution. Persists across
+  /// reset() — a quarantine models physically damaged bitlines. Idempotent.
+  void quarantine_lane(std::uint32_t lane);
+  /// Bitmask of quarantined GB lanes (bit l == lane l out of service).
+  [[nodiscard]] std::uint64_t quarantined_lanes() const noexcept {
+    return quarantined_;
+  }
+
+  /// One scrub pass at `now`: checks and repairs every auxVC
+  /// register/thermometer pair (parity + level invariant), the LRG matrix's
+  /// total order, and the GL clock's policing bound. Returns the number of
+  /// repairs made; each one is reported through the probe.
+  std::uint32_t scrub(Cycle now);
+
  private:
   /// Applies the halve/reset global management event.
   void on_saturation(Cycle now);
@@ -114,6 +141,8 @@ class OutputQosArbiter {
   std::uint64_t rt_ = 0;  // now - epoch_base_
   Cycle last_now_ = 0;
   TrafficClass picked_class_ = TrafficClass::BestEffort;
+  std::uint64_t quarantined_ = 0;        // out-of-service GB lanes
+  std::vector<std::uint32_t> lane_map_;  // level remap; empty = identity
   obs::SwitchProbe* probe_ = nullptr;  // null = observability off
   OutputId self_ = kNoPort;
 };

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "sim/contracts.hpp"
+#include "sim/error.hpp"
 
 namespace ssq::core {
 
@@ -83,12 +84,19 @@ struct SsvcParams {
     return ((1ULL << vtick_bits) - 1) << vtick_shift;
   }
 
+  /// Throws ssq::ConfigError on out-of-range geometry — these values come
+  /// straight from CLI flags and workload files.
   void validate() const {
-    SSQ_EXPECT(level_bits >= 1 && level_bits <= 6);
-    SSQ_EXPECT(lsb_bits >= 1 && lsb_bits <= 20);
-    SSQ_EXPECT(level_bits + lsb_bits <= 40);
-    SSQ_EXPECT(vtick_bits >= 1 && vtick_bits <= 20);
-    SSQ_EXPECT(vtick_shift <= 12);
+    detail::config_check(level_bits >= 1 && level_bits <= 6,
+                         "ssvc level_bits out of range [1,6]");
+    detail::config_check(lsb_bits >= 1 && lsb_bits <= 20,
+                         "ssvc lsb_bits out of range [1,20]");
+    detail::config_check(level_bits + lsb_bits <= 40,
+                         "ssvc counter wider than 40 bits");
+    detail::config_check(vtick_bits >= 1 && vtick_bits <= 20,
+                         "ssvc vtick_bits out of range [1,20]");
+    detail::config_check(vtick_shift <= 12,
+                         "ssvc vtick_shift out of range [0,12]");
   }
 };
 

@@ -70,6 +70,44 @@ class ThermometerCode {
   /// Reset policy: all thermometer codes cleared to level 0.
   void reset() noexcept { level_ = 0; }
 
+  // ---- fault injection / scrubbing (hardware DFT surface) ----
+  //
+  // A soft error flips one storage cell of the thermometer vector; the
+  // incremental shift logic keeps operating on the intended level while the
+  // stored vector silently disagrees. The corruption is modelled as an XOR
+  // overlay so the logical state (`level_`) and the physical vector
+  // (`raw_bits()`) can diverge exactly the way a flipped SRAM cell makes
+  // them diverge: a flip above the level grows the sensed level, a flip at
+  // the top shrinks it, a flip below punches a hole the shape check catches.
+
+  /// Flips stored bit `i` of the vector. Does NOT update the logical level —
+  /// that is the fault.
+  void fault_flip(std::uint32_t i) noexcept {
+    if (i < width_) corrupt_ ^= 1ULL << i;
+  }
+
+  /// True iff the stored vector is no longer the thermometer encoding of the
+  /// logical level (any outstanding flip).
+  [[nodiscard]] bool corrupted() const noexcept { return corrupt_ != 0; }
+
+  /// Stored vector including corruption; equals bits() when clean.
+  [[nodiscard]] std::uint64_t raw_bits() const noexcept {
+    return bits() ^ corrupt_;
+  }
+
+  /// Level the arbitration hardware senses: index of the highest set bit of
+  /// the stored vector (0 when the vector reads all-zero — the sense amp
+  /// falls back to lane 0). Equals level() when clean.
+  [[nodiscard]] std::uint32_t effective_level() const noexcept {
+    if (corrupt_ == 0) return level_;
+    const std::uint64_t raw = raw_bits();
+    if (raw == 0) return 0;
+    return static_cast<std::uint32_t>(63 - __builtin_clzll(raw));
+  }
+
+  /// Scrub repair: rewrites the stored vector from the logical level.
+  void clear_corruption() noexcept { corrupt_ = 0; }
+
   friend bool operator==(const ThermometerCode& a,
                          const ThermometerCode& b) noexcept {
     return a.width_ == b.width_ && a.level_ == b.level_;
@@ -78,6 +116,7 @@ class ThermometerCode {
  private:
   std::uint32_t width_;
   std::uint32_t level_ = 0;
+  std::uint64_t corrupt_ = 0;  // XOR overlay of fault-flipped cells
 };
 
 }  // namespace ssq::core

@@ -1,0 +1,82 @@
+// FaultInjector — executes a FaultPlan against a switch's arbitration state.
+//
+// Attached to a CrossbarSwitch through a nullable pointer exactly like the
+// SwitchProbe: detached operation costs one branch per hook site. Attached,
+// the injector runs once per cycle before injection/arbitration and
+//
+//   * flips single bits in auxVC registers, thermometer vectors, LRG
+//     priority flops and the GL clock at the plan's bitflip rate,
+//   * forces stuck bitline lanes by continuously overriding the affected
+//     thermometer cells (the behavioural image of a shorted wire),
+//   * tracks input-port and crosspoint outages, which the switch consults
+//     when selecting requests.
+//
+// Every realised fault is appended to log() — the replayable schedule — and
+// reported through the probe as a FaultInjected event.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace ssq::core {
+class OutputQosArbiter;
+}
+namespace ssq::obs {
+class SwitchProbe;
+}
+
+namespace ssq::fault {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Binds the per-output QoS arbiters the injector corrupts (empty in
+  /// baseline mode: only outages apply). Called by
+  /// CrossbarSwitch::attach_fault_injector.
+  void bind(std::vector<core::OutputQosArbiter*> arbiters,
+            std::uint32_t radix);
+
+  /// Observability sink for FaultInjected / PortOutage events (nullable).
+  void set_probe(obs::SwitchProbe* probe) noexcept { probe_ = probe; }
+
+  /// Runs one cycle of the plan. Called by the switch at the top of step().
+  void on_cycle(Cycle now);
+
+  // ---- outage queries (switch hot path; call only when attached) ----
+  [[nodiscard]] bool port_dead(InputId i) const noexcept {
+    return (dead_ports_ >> i) & 1ULL;
+  }
+  [[nodiscard]] bool link_alive(InputId i, OutputId o) const noexcept {
+    return ((dead_links_[i] >> o) & 1ULL) == 0;
+  }
+  [[nodiscard]] bool any_outage() const noexcept { return any_outage_; }
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  /// The realised fault schedule, in injection order.
+  [[nodiscard]] const std::vector<InjectedFault>& log() const noexcept {
+    return log_;
+  }
+
+ private:
+  void update_outages(Cycle now);
+  void apply_stuck_lanes(Cycle now);
+  void inject_bitflip(Cycle now);
+  void record(const InjectedFault& f);
+
+  FaultPlan plan_;
+  Rng rng_;
+  std::vector<core::OutputQosArbiter*> arbs_;
+  std::uint32_t radix_ = 0;
+  obs::SwitchProbe* probe_ = nullptr;
+  std::uint64_t dead_ports_ = 0;
+  std::vector<std::uint64_t> dead_links_;  // per input: bitmask of outputs
+  bool any_outage_ = false;
+  std::vector<InjectedFault> log_;
+};
+
+}  // namespace ssq::fault

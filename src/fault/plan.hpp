@@ -1,0 +1,72 @@
+// Deterministic fault plan — the schedule and rates a FaultInjector executes.
+//
+// A plan is pure data: a seed, a per-cycle single-event-upset rate, and
+// scheduled hard faults (stuck bitline lanes, input-port and crosspoint
+// outages). Two injectors built from equal plans against equal switches
+// realise bit-identical fault schedules, which is what makes chaos runs
+// replayable (`--fault-seed`) and the golden-replay test possible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ssq::fault {
+
+/// A GB bitline lane of one output hard-stuck from cycle `at` on.
+/// stuck_high: the lane reads occupied for every crosspoint (stuck-at-1);
+/// otherwise it reads empty (stuck-at-0).
+struct StuckLane {
+  OutputId output = 0;
+  std::uint32_t lane = 0;
+  bool stuck_high = true;
+  Cycle at = 0;
+};
+
+/// Input port `input` dead in [at, restore_at): no admission, no requests.
+/// restore_at == kNoCycle means the outage is permanent.
+struct PortKill {
+  InputId input = 0;
+  Cycle at = 0;
+  Cycle restore_at = kNoCycle;
+};
+
+/// Crosspoint (input, output) dead in [at, restore_at): the input never
+/// requests that output; traffic for it backs up or is rerouted upstream.
+struct CrosspointKill {
+  InputId input = 0;
+  OutputId output = 0;
+  Cycle at = 0;
+  Cycle restore_at = kNoCycle;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0x5eedULL;
+  /// Per-cycle probability that one single-bit upset strikes the switch.
+  /// The victim structure (auxVC register, thermometer cell, LRG priority
+  /// flop, GL clock) and bit position are drawn uniformly from the seed.
+  double bitflip_rate = 0.0;
+  std::vector<StuckLane> stuck_lanes;
+  std::vector<PortKill> port_kills;
+  std::vector<CrosspointKill> crosspoint_kills;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return bitflip_rate <= 0.0 && stuck_lanes.empty() && port_kills.empty() &&
+           crosspoint_kills.empty();
+  }
+};
+
+/// One realised fault, appended to the injector's log — the replayable
+/// schedule the golden-replay test compares across runs.
+struct InjectedFault {
+  Cycle cycle = 0;
+  std::uint32_t target = 0;  // obs::kTarget* constant
+  OutputId output = kNoPort;
+  InputId input = kNoPort;
+  std::uint32_t bit = 0;  // bit / lane / column, per target
+
+  friend bool operator==(const InjectedFault&, const InjectedFault&) = default;
+};
+
+}  // namespace ssq::fault

@@ -1,0 +1,57 @@
+#include "fault/scrubber.hpp"
+
+#include "core/output_arbiter.hpp"
+#include "sim/contracts.hpp"
+
+namespace ssq::fault {
+
+StateScrubber::StateScrubber(Cycle interval,
+                             std::uint32_t quarantine_threshold)
+    : interval_(interval), threshold_(quarantine_threshold) {
+  SSQ_EXPECT(interval >= 1);
+}
+
+void StateScrubber::bind(std::vector<core::OutputQosArbiter*> arbiters) {
+  arbs_ = std::move(arbiters);
+  lane_faults_.clear();
+  lane_faults_.reserve(arbs_.size());
+  for (const auto* arb : arbs_) {
+    lane_faults_.emplace_back(arb->params().gb_levels(), 0);
+  }
+}
+
+std::uint32_t StateScrubber::scrub_now(Cycle now) {
+  ++passes_;
+  std::uint32_t total = 0;
+  for (std::size_t o = 0; o < arbs_.size(); ++o) {
+    auto& arb = *arbs_[o];
+    // Attribute thermometer corruption to lanes before the repair erases it:
+    // a transient upset hits a random lane once, a stuck bitline hits the
+    // same lane every pass.
+    if (threshold_ > 0) {
+      for (InputId i = 0; i < arb.radix(); ++i) {
+        const auto& code = arb.aux_vc(i).code();
+        std::uint64_t diff = code.raw_bits() ^ code.bits();
+        while (diff != 0) {
+          const auto lane =
+              static_cast<std::uint32_t>(__builtin_ctzll(diff));
+          diff &= diff - 1;
+          ++lane_faults_[o][lane];
+        }
+      }
+    }
+    total += arb.scrub(now);
+    if (threshold_ > 0) {
+      for (std::uint32_t lane = 0; lane < lane_faults_[o].size(); ++lane) {
+        if (lane_faults_[o][lane] >= threshold_ &&
+            ((arb.quarantined_lanes() >> lane) & 1ULL) == 0) {
+          arb.quarantine_lane(lane);
+        }
+      }
+    }
+  }
+  repairs_ += total;
+  return total;
+}
+
+}  // namespace ssq::fault

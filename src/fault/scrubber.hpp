@@ -1,0 +1,61 @@
+// StateScrubber — the periodic recovery engine pairing the FaultInjector.
+//
+// Every `interval` cycles the scrubber walks each output's arbitration
+// state and repairs what the invariants catch (see
+// OutputQosArbiter::scrub): auxVC parity and thermometer/level agreement,
+// LRG total order, and the GL clock's policing bound. Before repairing, it
+// attributes thermometer corruption to lanes; a lane that keeps showing
+// corruption pass after pass (a stuck bitline, not a transient upset) is
+// quarantined — taken out of service via the arbiter's level remap — once
+// its count reaches the threshold. Repairs and quarantines surface through
+// the arbiter's probe as ScrubRepair / LaneQuarantined events and metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ssq::core {
+class OutputQosArbiter;
+}
+
+namespace ssq::fault {
+
+class StateScrubber {
+ public:
+  /// `interval` >= 1 cycles between passes. `quarantine_threshold` is the
+  /// number of corrupted reads observed at one (output, lane) before that
+  /// lane is quarantined; 0 disables quarantine.
+  explicit StateScrubber(Cycle interval, std::uint32_t quarantine_threshold = 4);
+
+  /// Binds the per-output QoS arbiters (empty = scrubbing is a no-op).
+  void bind(std::vector<core::OutputQosArbiter*> arbiters);
+
+  /// Runs a pass when `now` reaches the next scheduled one. Called by the
+  /// switch at the top of step().
+  void on_cycle(Cycle now) {
+    if (now >= next_) {
+      scrub_now(now);
+      next_ = now + interval_;
+    }
+  }
+
+  /// Forces a pass immediately; returns the number of repairs it made.
+  std::uint32_t scrub_now(Cycle now);
+
+  [[nodiscard]] Cycle interval() const noexcept { return interval_; }
+  [[nodiscard]] std::uint64_t passes() const noexcept { return passes_; }
+  [[nodiscard]] std::uint64_t repairs() const noexcept { return repairs_; }
+
+ private:
+  Cycle interval_;
+  std::uint32_t threshold_;
+  Cycle next_ = 0;
+  std::vector<core::OutputQosArbiter*> arbs_;
+  std::vector<std::vector<std::uint32_t>> lane_faults_;  // [output][lane]
+  std::uint64_t passes_ = 0;
+  std::uint64_t repairs_ = 0;
+};
+
+}  // namespace ssq::fault

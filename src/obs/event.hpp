@@ -34,6 +34,12 @@ enum class EventKind : std::uint8_t {
   EpochWrap,          // real-time epoch wrap: every auxVC shifted down
   MgmtHalve,          // global halve management event
   MgmtReset,          // global reset management event
+  // ---- fault injection / recovery ----
+  FaultInjected,      // fault fired                 arg0 = target kind,
+                      //                             arg1 = bit / lane index
+  ScrubRepair,        // scrubber repaired state     arg0 = repair kind
+  LaneQuarantined,    // stuck lane compressed out   arg0 = lane
+  PortOutage,         // input port killed/restored  arg0 = 1 down, 0 up
 };
 
 /// Short stable name used by every sink.
@@ -54,12 +60,30 @@ enum class EventKind : std::uint8_t {
     case EventKind::EpochWrap: return "epoch_wrap";
     case EventKind::MgmtHalve: return "mgmt_halve";
     case EventKind::MgmtReset: return "mgmt_reset";
+    case EventKind::FaultInjected: return "fault";
+    case EventKind::ScrubRepair: return "scrub_repair";
+    case EventKind::LaneQuarantined: return "quarantine";
+    case EventKind::PortOutage: return "port_outage";
   }
   return "?";
 }
 
 /// Sentinel for "no flow / no packet attached to this event".
 inline constexpr std::uint64_t kNoId = ~0ULL;
+
+// FaultInjected arg0: which structure the fault hit.
+inline constexpr std::uint32_t kTargetAuxValue = 0;   // auxVC register bit
+inline constexpr std::uint32_t kTargetAuxCode = 1;    // thermometer cell
+inline constexpr std::uint32_t kTargetLrgRow = 2;     // LRG priority flop
+inline constexpr std::uint32_t kTargetGlClock = 3;    // GL clock bit
+inline constexpr std::uint32_t kTargetStuckLane = 4;  // bitline stuck-at
+inline constexpr std::uint32_t kTargetPortKill = 5;   // input port outage
+
+// ScrubRepair arg0: what the scrubber did.
+inline constexpr std::uint32_t kRepairAuxCode = 0;   // thermometer re-derived
+inline constexpr std::uint32_t kRepairAuxValue = 1;  // register reset to rt
+inline constexpr std::uint32_t kRepairLrgOrder = 2;  // LRG matrix rebuilt
+inline constexpr std::uint32_t kRepairGlClock = 3;   // GL clock rewound
 
 struct Event {
   Cycle cycle = 0;

@@ -32,6 +32,10 @@ SwitchProbe::SwitchProbe(std::uint32_t radix, Cycle grant_window_cycles)
   mgmt_halves_ = metrics_.counter("ssvc.mgmt.halve");
   mgmt_resets_ = metrics_.counter("ssvc.mgmt.reset");
   tie_breaks_ = metrics_.counter("ssvc.lane_tie_breaks");
+  faults_injected_ = metrics_.counter("fault.injected");
+  scrub_repairs_ = metrics_.counter("fault.scrub.repairs");
+  quarantines_ = metrics_.counter("fault.quarantines");
+  port_outages_ = metrics_.counter("fault.port_outages");
   for (std::size_t c = 0; c < kNumClasses; ++c) {
     grants_cls_[c] = metrics_.counter(
         std::string("arb.grants.") +
@@ -40,12 +44,15 @@ SwitchProbe::SwitchProbe(std::uint32_t radix, Cycle grant_window_cycles)
   grants_out_.reserve(radix);
   auxvc_sat_out_.reserve(radix);
   gl_stall_out_.reserve(radix);
+  scrub_repairs_out_.reserve(radix);
   for (OutputId o = 0; o < radix; ++o) {
     grants_out_.push_back(metrics_.counter(out_name("arb.grants.out", o)));
     auxvc_sat_out_.push_back(
         metrics_.counter(out_name("ssvc.auxvc_saturations.out", o)));
     gl_stall_out_.push_back(
         metrics_.counter(out_name("ssvc.gl_stalls.out", o)));
+    scrub_repairs_out_.push_back(
+        metrics_.counter(out_name("fault.repairs.out", o)));
   }
   wait_hist_ = metrics_.histogram("switch.wait.cycles", 8.0, 64);
   latency_hist_ = metrics_.histogram("switch.latency.cycles", 16.0, 64);
@@ -153,6 +160,34 @@ void SwitchProbe::mgmt_event(Cycle now, OutputId output, bool halve) {
   emit({now, halve ? EventKind::MgmtHalve : EventKind::MgmtReset,
         TrafficClass::GuaranteedBandwidth, kNoPort, output, kNoId, kNoId, 0, 0,
         0});
+}
+
+void SwitchProbe::fault_injected(Cycle now, OutputId output, InputId input,
+                                 std::uint32_t target, std::uint64_t detail) {
+  metrics_.add(faults_injected_);
+  emit({now, EventKind::FaultInjected, TrafficClass::BestEffort, input, output,
+        kNoId, kNoId, 0, target, detail});
+}
+
+void SwitchProbe::scrub_repair(Cycle now, OutputId output, InputId input,
+                               std::uint32_t repair_kind) {
+  metrics_.add(scrub_repairs_);
+  if (output != kNoPort) metrics_.add(scrub_repairs_out_[output]);
+  emit({now, EventKind::ScrubRepair, TrafficClass::BestEffort, input, output,
+        kNoId, kNoId, 0, repair_kind, 0});
+}
+
+void SwitchProbe::lane_quarantined(Cycle now, OutputId output,
+                                   std::uint32_t lane) {
+  metrics_.add(quarantines_);
+  emit({now, EventKind::LaneQuarantined, TrafficClass::GuaranteedBandwidth,
+        kNoPort, output, kNoId, kNoId, 0, lane, 0});
+}
+
+void SwitchProbe::port_outage(Cycle now, InputId input, bool down) {
+  metrics_.add(port_outages_);
+  emit({now, EventKind::PortOutage, TrafficClass::BestEffort, input, kNoPort,
+        kNoId, kNoId, 0, down ? 1u : 0u, 0});
 }
 
 }  // namespace ssq::obs

@@ -47,6 +47,18 @@ class SwitchProbe {
   [[nodiscard]] std::uint64_t gl_stalls(OutputId o) const {
     return metrics_.value(gl_stall_out_[o]);
   }
+  [[nodiscard]] std::uint64_t faults_injected() const {
+    return metrics_.value(faults_injected_);
+  }
+  [[nodiscard]] std::uint64_t scrub_repairs() const {
+    return metrics_.value(scrub_repairs_);
+  }
+  [[nodiscard]] std::uint64_t scrub_repairs_for_output(OutputId o) const {
+    return metrics_.value(scrub_repairs_out_[o]);
+  }
+  [[nodiscard]] std::uint64_t lane_quarantines() const {
+    return metrics_.value(quarantines_);
+  }
   /// Per-output delivered-flit rate series (empty when disabled).
   [[nodiscard]] const stats::RateSeries* delivered_series() const noexcept {
     return delivered_series_.empty() ? nullptr : &delivered_series_.front();
@@ -85,6 +97,14 @@ class SwitchProbe {
   void epoch_wrap(Cycle now, OutputId output);
   void mgmt_event(Cycle now, OutputId output, bool halve);
 
+  // ---- fault / recovery hooks (called by fault::FaultInjector/Scrubber) ----
+  void fault_injected(Cycle now, OutputId output, InputId input,
+                      std::uint32_t target, std::uint64_t detail);
+  void scrub_repair(Cycle now, OutputId output, InputId input,
+                    std::uint32_t repair_kind);
+  void lane_quarantined(Cycle now, OutputId output, std::uint32_t lane);
+  void port_outage(Cycle now, InputId input, bool down);
+
  private:
   void emit(const Event& e) {
     if (tracer_ != nullptr) tracer_->emit(e);
@@ -100,13 +120,15 @@ class SwitchProbe {
   // Pre-interned handles: global counters...
   CounterId created_, buffered_, blocked_, requests_, grants_, chain_grants_,
       delivered_flits_, delivered_pkts_, preemptions_, wasted_flits_,
-      epoch_wraps_, mgmt_halves_, mgmt_resets_, tie_breaks_;
+      epoch_wraps_, mgmt_halves_, mgmt_resets_, tie_breaks_,
+      faults_injected_, scrub_repairs_, quarantines_, port_outages_;
   // ...per-class grant counters (BE/GB/GL)...
   CounterId grants_cls_[kNumClasses];
   // ...and per-output counters.
   std::vector<CounterId> grants_out_;
   std::vector<CounterId> auxvc_sat_out_;
   std::vector<CounterId> gl_stall_out_;
+  std::vector<CounterId> scrub_repairs_out_;
   HistogramId wait_hist_, latency_hist_;
 };
 

@@ -20,13 +20,21 @@ const char* arg0_label(EventKind k) {
     case EventKind::GlStall: return "overrun";
     case EventKind::LaneTieBreak: return "lane";
     case EventKind::AuxVcSaturated: return "cap";
+    case EventKind::FaultInjected: return "target";
+    case EventKind::ScrubRepair: return "repair";
+    case EventKind::LaneQuarantined: return "lane";
+    case EventKind::PortOutage: return "down";
     default: return nullptr;
   }
 }
 
 /// Kind-specific label of Event::arg1 (nullptr = arg1 unused).
 const char* arg1_label(EventKind k) {
-  return k == EventKind::LaneTieBreak ? "candidates" : nullptr;
+  switch (k) {
+    case EventKind::LaneTieBreak: return "candidates";
+    case EventKind::FaultInjected: return "bit";
+    default: return nullptr;
+  }
 }
 
 /// Output-port events render on the output track; everything else on the
@@ -129,6 +137,8 @@ void ChromeTraceSink::finish() {
   os_.flush();
 }
 
+bool ChromeTraceSink::ok() const { return static_cast<bool>(os_); }
+
 void JsonlSink::on_event(const Event& e) {
   std::string line;
   line.reserve(160);
@@ -141,5 +151,9 @@ void JsonlSink::on_event(const Event& e) {
   line += "}\n";
   os_ << line;
 }
+
+void JsonlSink::finish() { os_.flush(); }
+
+bool JsonlSink::ok() const { return static_cast<bool>(os_); }
 
 }  // namespace ssq::obs

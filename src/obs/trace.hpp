@@ -29,6 +29,10 @@ class TraceSink {
   virtual void on_event(const Event& e) = 0;
   /// Flushes trailers (closing brackets, metadata). Idempotent.
   virtual void finish() {}
+  /// False once the underlying stream has failed. File sinks report write
+  /// errors (disk full, closed pipe) here instead of silently truncating
+  /// the trace; callers should check after finish().
+  [[nodiscard]] virtual bool ok() const { return true; }
 };
 
 /// Chrome trace-event JSON. `radix` sizes the port tracks.
@@ -37,6 +41,7 @@ class ChromeTraceSink final : public TraceSink {
   ChromeTraceSink(std::ostream& os, std::uint32_t radix);
   void on_event(const Event& e) override;
   void finish() override;
+  [[nodiscard]] bool ok() const override;
 
  private:
   void write_metadata();
@@ -51,6 +56,8 @@ class JsonlSink final : public TraceSink {
  public:
   explicit JsonlSink(std::ostream& os) : os_(os) {}
   void on_event(const Event& e) override;
+  void finish() override;
+  [[nodiscard]] bool ok() const override;
 
  private:
   std::ostream& os_;
@@ -89,6 +96,10 @@ class Tracer {
   }
 
   void finish() { sink_.finish(); }
+
+  /// Delegates to the sink: false once the trace file stopped accepting
+  /// writes.
+  [[nodiscard]] bool ok() const { return sink_.ok(); }
 
   [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }

@@ -7,6 +7,7 @@
 #include "core/gl_tracker.hpp"
 #include "core/params.hpp"
 #include "sim/contracts.hpp"
+#include "sim/error.hpp"
 
 namespace ssq::sw {
 
@@ -18,9 +19,10 @@ struct BufferConfig {
   std::uint32_t gl_flits = 16;
 
   void validate() const {
-    SSQ_EXPECT(be_flits >= 1);
-    SSQ_EXPECT(gb_flits_per_output >= 1);
-    SSQ_EXPECT(gl_flits >= 1);
+    detail::config_check(be_flits >= 1, "buffer be_flits must be >= 1");
+    detail::config_check(gb_flits_per_output >= 1,
+                         "buffer gb_flits_per_output must be >= 1");
+    detail::config_check(gl_flits >= 1, "buffer gl_flits must be >= 1");
   }
 };
 
@@ -41,8 +43,9 @@ struct GsfConfig {
 
   void validate() const {
     if (!enabled) return;
-    SSQ_EXPECT(frame_cycles >= 2);
-    SSQ_EXPECT(barrier_cycles < frame_cycles);
+    detail::config_check(frame_cycles >= 2, "gsf frame_cycles must be >= 2");
+    detail::config_check(barrier_cycles < frame_cycles,
+                         "gsf barrier_cycles must be < frame_cycles");
   }
 };
 
@@ -122,10 +125,14 @@ struct SwitchConfig {
 
   std::uint64_t seed = 0x5eed;
 
+  /// Throws ssq::ConfigError on bad user configuration (CLI flags).
   void validate() const {
-    SSQ_EXPECT(radix >= 2 && radix <= 64);
-    SSQ_EXPECT(arbitration_cycles >= 1 && arbitration_cycles <= 4);
-    SSQ_EXPECT(match_iterations >= 1 && match_iterations <= 8);
+    detail::config_check(radix >= 2 && radix <= 64,
+                         "radix out of range [2,64]");
+    detail::config_check(arbitration_cycles >= 1 && arbitration_cycles <= 4,
+                         "arbitration_cycles out of range [1,4]");
+    detail::config_check(match_iterations >= 1 && match_iterations <= 8,
+                         "match_iterations out of range [1,8]");
     ssvc.validate();
     buffers.validate();
     gsf.validate();

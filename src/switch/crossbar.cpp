@@ -1,6 +1,8 @@
 #include "switch/crossbar.hpp"
 
 #include "arb/pvc.hpp"
+#include "fault/injector.hpp"
+#include "fault/scrubber.hpp"
 
 #include <algorithm>
 #include <utility>
@@ -99,6 +101,29 @@ void CrossbarSwitch::attach_probe(obs::SwitchProbe* probe) {
   for (OutputId o = 0; o < qos_.size(); ++o) {
     qos_[o]->set_probe(probe, o);
   }
+  if (fault_ != nullptr) fault_->set_probe(probe);
+}
+
+void CrossbarSwitch::attach_fault_injector(fault::FaultInjector* injector) {
+  fault_ = injector;
+  if (injector == nullptr) return;
+  std::vector<core::OutputQosArbiter*> arbs;
+  arbs.reserve(qos_.size());
+  for (auto& q : qos_) arbs.push_back(q.get());
+  injector->bind(std::move(arbs), config_.radix);
+  injector->set_probe(obs_);
+  // Injected LRG corruption must degrade gracefully, not abort: the strict
+  // total-order invariant is suspended only while faults are being injected.
+  for (auto& q : qos_) q->lrg().set_fault_tolerant(true);
+}
+
+void CrossbarSwitch::attach_scrubber(fault::StateScrubber* scrubber) {
+  scrub_ = scrubber;
+  if (scrubber == nullptr) return;
+  std::vector<core::OutputQosArbiter*> arbs;
+  arbs.reserve(qos_.size());
+  for (auto& q : qos_) arbs.push_back(q.get());
+  scrubber->bind(std::move(arbs));
 }
 
 core::OutputQosArbiter& CrossbarSwitch::qos_arbiter(OutputId o) {
@@ -231,6 +256,8 @@ void CrossbarSwitch::inject() {
   for (InputId i = 0; i < inputs_.size(); ++i) {
     const auto& flows = input_flows_[i];
     if (flows.empty()) continue;
+    // A dead input port admits nothing; its traffic backs up at the source.
+    if (fault_ != nullptr && fault_->port_dead(i)) continue;
     for (std::size_t k = 0; k < flows.size(); ++k) {
       const std::size_t idx = (accept_ptr_[i] + k) % flows.size();
       const FlowId f = flows[idx];
@@ -298,6 +325,11 @@ void CrossbarSwitch::complete(Transmission& t, OutputId o) {
   // opportunities, which would break the Eq. (1) bound — so a chain is
   // broken whenever any input holds a GL packet for this output.
   if (config_.packet_chaining) {
+    // A dead port or crosspoint cannot chain either.
+    if (fault_ != nullptr &&
+        (fault_->port_dead(src) || !fault_->link_alive(src, o))) {
+      return;
+    }
     for (InputId i = 0; i < config_.radix; ++i) {
       if (const Packet* h = inputs_[i].gl_head();
           h != nullptr && h->dst == o) {
@@ -382,13 +414,17 @@ void CrossbarSwitch::select_requests(
   for (InputId i = 0; i < inputs_.size(); ++i) {
     const auto& port = inputs_[i];
     if (port.busy(now_)) continue;
+    if (fault_ != nullptr && fault_->port_dead(i)) continue;  // port outage
 
+    const auto link_ok = [this, i](OutputId o) {
+      return fault_ == nullptr || fault_->link_alive(i, o);
+    };
     const auto prio_of = [this](const Packet& p) {
       return workload_.flow(p.flow).legacy_priority;
     };
     // 1) GL head, if its channel can arbitrate this cycle.
     if (const Packet* h = port.gl_head();
-        h != nullptr && output_idle(h->dst)) {
+        h != nullptr && output_idle(h->dst) && link_ok(h->dst)) {
       pending[i] = {h->dst, h->cls, h->length, h->buffered, prio_of(*h)};
       continue;
     }
@@ -396,7 +432,8 @@ void CrossbarSwitch::select_requests(
     bool chosen = false;
     for (std::uint32_t off = 0; off < config_.radix && !chosen; ++off) {
       const OutputId o = (port.gb_pointer() + off) % config_.radix;
-      if (const Packet* h = port.gb_head(o); h != nullptr && output_idle(o)) {
+      if (const Packet* h = port.gb_head(o);
+          h != nullptr && output_idle(o) && link_ok(o)) {
         pending[i] = {o, h->cls, h->length, h->buffered, prio_of(*h)};
         chosen = true;
       }
@@ -404,7 +441,7 @@ void CrossbarSwitch::select_requests(
     if (chosen) continue;
     // 3) BE head.
     if (const Packet* h = port.be_head();
-        h != nullptr && output_idle(h->dst)) {
+        h != nullptr && output_idle(h->dst) && link_ok(h->dst)) {
       pending[i] = {h->dst, h->cls, h->length, h->buffered, prio_of(*h)};
     }
   }
@@ -517,6 +554,7 @@ void CrossbarSwitch::arbitrate_matched() {
   }
   for (InputId i = 0; i < radix; ++i) {
     if (inputs_[i].busy(now_)) in_matched[i] = true;
+    if (fault_ != nullptr && fault_->port_dead(i)) in_matched[i] = true;
   }
 
   std::vector<core::ClassRequest> qos_reqs;
@@ -532,6 +570,7 @@ void CrossbarSwitch::arbitrate_matched() {
       base_reqs.clear();
       for (InputId i = 0; i < radix; ++i) {
         if (in_matched[i]) continue;
+        if (fault_ != nullptr && !fault_->link_alive(i, o)) continue;
         const Packet* h = candidate_for(i, o);
         if (h == nullptr) continue;
         // Matched mode exposes every ready head; report each (input, output)
@@ -606,6 +645,8 @@ void CrossbarSwitch::arbitrate_matched() {
 }
 
 void CrossbarSwitch::step() {
+  if (fault_ != nullptr) fault_->on_cycle(now_);
+  if (scrub_ != nullptr) scrub_->on_cycle(now_);
   inject();
   transfer();
   if (config_.pvc.preemption) preempt_scan();

@@ -41,6 +41,11 @@
 #include "traffic/injector.hpp"
 #include "traffic/workload.hpp"
 
+namespace ssq::fault {
+class FaultInjector;
+class StateScrubber;
+}
+
 namespace ssq::sw {
 
 class CrossbarSwitch {
@@ -111,6 +116,25 @@ class CrossbarSwitch {
   /// must outlive the switch or be detached first.
   void attach_probe(obs::SwitchProbe* probe);
   [[nodiscard]] obs::SwitchProbe* probe() const noexcept { return obs_; }
+
+  // ---- fault injection / recovery ----
+  /// Attaches (or with nullptr detaches) a fault injector. While attached it
+  /// runs at the top of every step() and its port/crosspoint outages gate
+  /// request selection; the LRG arbiters switch to fault-tolerant (graceful
+  /// degradation) mode. Detached, each hook site costs a single branch on
+  /// this pointer. SSVC mode only for state corruption; outages apply in
+  /// every mode. The injector must outlive the switch or be detached first.
+  void attach_fault_injector(fault::FaultInjector* injector);
+  [[nodiscard]] fault::FaultInjector* fault_injector() const noexcept {
+    return fault_;
+  }
+
+  /// Attaches (or with nullptr detaches) the periodic state scrubber, which
+  /// then runs at its interval from inside step(). Same lifetime rule.
+  void attach_scrubber(fault::StateScrubber* scrubber);
+  [[nodiscard]] fault::StateScrubber* scrubber() const noexcept {
+    return scrub_;
+  }
 
  private:
   struct Transmission {
@@ -183,6 +207,8 @@ class CrossbarSwitch {
   std::uint64_t wasted_flits_ = 0;
   bool measuring_ = true;
   obs::SwitchProbe* obs_ = nullptr;  // null = observability off
+  fault::FaultInjector* fault_ = nullptr;  // null = fault injection off
+  fault::StateScrubber* scrub_ = nullptr;  // null = scrubbing off
 };
 
 }  // namespace ssq::sw

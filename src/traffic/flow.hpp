@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/contracts.hpp"
+#include "sim/error.hpp"
 #include "sim/types.hpp"
 
 namespace ssq::traffic {
@@ -71,30 +72,42 @@ struct FlowSpec {
     return (len_min + len_max) / 2;
   }
 
+  /// Throws ssq::ConfigError — flow specs come from workload files.
   void validate(std::uint32_t radix) const {
-    SSQ_EXPECT(src < radix && dst < radix);
-    SSQ_EXPECT(len_min >= 1 && len_min <= len_max);
-    SSQ_EXPECT(legacy_priority < 4);
-    SSQ_EXPECT(reserved_rate >= 0.0 && reserved_rate <= 1.0);
+    detail::config_check(src < radix && dst < radix,
+                         "flow src/dst port out of range for this radix");
+    detail::config_check(len_min >= 1 && len_min <= len_max,
+                         "flow packet length range invalid (need 1 <= "
+                         "len_min <= len_max)");
+    detail::config_check(legacy_priority < 4,
+                         "flow legacy_priority out of range [0,3]");
+    detail::config_check(reserved_rate >= 0.0 && reserved_rate <= 1.0,
+                         "flow reserved rate out of range [0,1]");
     if (cls == TrafficClass::GuaranteedBandwidth) {
-      SSQ_EXPECT(reserved_rate > 0.0 &&
-                 "GB flows must reserve a positive rate");
+      detail::config_check(reserved_rate > 0.0,
+                           "GB flows must reserve a positive rate");
     }
     switch (inject) {
       case InjectKind::Bernoulli:
       case InjectKind::Periodic:
-        SSQ_EXPECT(inject_rate > 0.0 && inject_rate <= 1.0);
+        detail::config_check(inject_rate > 0.0 && inject_rate <= 1.0,
+                             "flow inject rate out of range (0,1]");
         break;
       case InjectKind::OnOff:
-        SSQ_EXPECT(inject_rate > 0.0 && inject_rate <= 1.0);
-        SSQ_EXPECT(mean_on_cycles >= 1.0 && mean_off_cycles >= 0.0);
+        detail::config_check(inject_rate > 0.0 && inject_rate <= 1.0,
+                             "flow inject rate out of range (0,1]");
+        detail::config_check(mean_on_cycles >= 1.0 && mean_off_cycles >= 0.0,
+                             "flow on/off durations invalid");
         break;
       case InjectKind::BurstOnce:
-        SSQ_EXPECT(burst_packets >= 1);
+        detail::config_check(burst_packets >= 1,
+                             "burst flow needs burst_packets >= 1");
         break;
       case InjectKind::Trace:
-        for (std::size_t i = 1; i < trace.size(); ++i)
-          SSQ_EXPECT(trace[i] >= trace[i - 1]);
+        for (std::size_t i = 1; i < trace.size(); ++i) {
+          detail::config_check(trace[i] >= trace[i - 1],
+                               "flow trace cycles must be non-decreasing");
+        }
         break;
     }
   }

@@ -1,13 +1,16 @@
 #include "traffic/workload.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "sim/contracts.hpp"
+#include "sim/error.hpp"
 
 namespace ssq::traffic {
 
 Workload::Workload(std::uint32_t radix) : radix_(radix) {
-  SSQ_EXPECT(radix >= 1 && radix <= 64);
+  ssq::detail::config_check(radix >= 1 && radix <= 64,
+                            "workload radix out of range [1,64]");
   gl_rate_.assign(radix, 0.0);
   gl_packet_len_.assign(radix, 1);
 }
@@ -20,9 +23,12 @@ FlowId Workload::add_flow(FlowSpec spec) {
 
 void Workload::set_gl_reservation(OutputId dst, double rate,
                                   std::uint32_t packet_len) {
-  SSQ_EXPECT(dst < radix_);
-  SSQ_EXPECT(rate >= 0.0 && rate <= 1.0);
-  SSQ_EXPECT(packet_len >= 1);
+  ssq::detail::config_check(dst < radix_,
+                            "GL reservation output out of range");
+  ssq::detail::config_check(rate >= 0.0 && rate <= 1.0,
+                            "GL reserve rate out of range [0,1]");
+  ssq::detail::config_check(packet_len >= 1,
+                            "GL reserve packet length must be >= 1");
   gl_rate_[dst] = rate;
   gl_packet_len_[dst] = packet_len;
 }
@@ -49,11 +55,16 @@ core::OutputAllocation Workload::allocation_for(OutputId dst) const {
 
 void Workload::validate() const {
   for (const auto& f : flows_) f.validate(radix_);
-  SSQ_EXPECT(crosspoints_exclusive());
+  ssq::detail::config_check(
+      crosspoints_exclusive(),
+      "two GB flows share one (src,dst) crosspoint; each crosspoint carries "
+      "one flow");
   for (OutputId o = 0; o < radix_; ++o) {
     const auto alloc = allocation_for(o);
-    SSQ_EXPECT(alloc.admissible(radix_) &&
-               "output over-subscribed: sum of GB rates + GL rate > 1");
+    ssq::detail::config_check(
+        alloc.admissible(radix_),
+        "output " + std::to_string(o) +
+            " over-subscribed: sum of GB rates + GL rate > 1");
   }
 }
 

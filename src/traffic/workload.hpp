@@ -47,9 +47,9 @@ class Workload {
   /// mean packet length among that output's GB flows.
   [[nodiscard]] core::OutputAllocation allocation_for(OutputId dst) const;
 
-  /// Validates every flow and every output's admissibility. Aborts on
-  /// violations — an inadmissible workload would produce guarantees the
-  /// hardware could not give.
+  /// Validates every flow and every output's admissibility. Throws
+  /// ssq::ConfigError on violations — an inadmissible workload would produce
+  /// guarantees the hardware could not give.
   void validate() const;
 
   /// True iff at most one GB flow occupies each (src, dst) crosspoint —

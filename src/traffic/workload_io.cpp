@@ -1,16 +1,16 @@
 #include "traffic/workload_io.hpp"
 
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "sim/contracts.hpp"
+#include "sim/error.hpp"
 
 namespace ssq::traffic {
 
@@ -18,9 +18,8 @@ namespace {
 
 [[noreturn]] void parse_fail(const std::string& name, int line,
                              const std::string& what) {
-  std::fprintf(stderr, "ssq: workload parse error at %s:%d: %s\n",
-               name.c_str(), line, what.c_str());
-  std::abort();
+  throw ssq::ConfigError("workload parse error at " + name + ":" +
+                         std::to_string(line) + ": " + what);
 }
 
 struct FieldMap {
@@ -181,9 +180,7 @@ Workload parse_workload(std::istream& in, const std::string& name) {
 Workload load_workload(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "ssq: cannot open workload file '%s'\n",
-                 path.c_str());
-    std::abort();
+    throw ssq::ConfigError("cannot open workload file '" + path + "'");
   }
   return parse_workload(in, path);
 }

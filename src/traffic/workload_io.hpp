@@ -21,8 +21,8 @@
 //   burst_start= burst_packets=   burst injection
 //   prio=               legacy 4-level message priority (default 0)
 //
-// Parse errors abort with the offending line number — a workload silently
-// misread is worse than no workload.
+// Parse errors throw ssq::ConfigError carrying the offending line number —
+// a workload silently misread is worse than no workload.
 #pragma once
 
 #include <iosfwd>
@@ -32,7 +32,8 @@
 
 namespace ssq::traffic {
 
-/// Parses a workload description; aborts with file:line context on errors.
+/// Parses a workload description; throws ssq::ConfigError with file:line
+/// context on errors.
 [[nodiscard]] Workload parse_workload(std::istream& in,
                                       const std::string& name = "<stream>");
 

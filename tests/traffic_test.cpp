@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
+#include "sim/error.hpp"
 #include "sim/rng.hpp"
 #include "traffic/flow.hpp"
 #include "traffic/injector.hpp"
@@ -336,34 +338,48 @@ gl_reservation dst=3 rate=0.1 len=2
   EXPECT_DOUBLE_EQ(reparsed.gl_reservation_rate(3), 0.1);
 }
 
-TEST(WorkloadIoDeathTest, RejectsGarbage) {
-  auto parse = [](const char* text) {
-    std::istringstream in(text);
-    return parse_workload(in, "bad");
-  };
-  EXPECT_DEATH(parse("flow src=0 dst=1\n"), "radix");
-  EXPECT_DEATH(parse("radix 8\nflow dst=1\n"), "missing field 'src'");
-  EXPECT_DEATH(parse("radix 8\nflow src=0 dst=1 class=xx\n"),
-               "unknown class");
-  EXPECT_DEATH(parse("radix 8\nflow src=0 dst=1 load=abc\n"),
-               "not a number");
-  EXPECT_DEATH(parse("radix 8\nblah x=1\n"), "unknown directive");
-  EXPECT_DEATH(parse("radix 99\n"), "out of range");
-  EXPECT_DEATH(parse(""), "empty workload");
+/// Expects `fn` to throw ssq::ConfigError whose message contains `needle`.
+template <typename Fn>
+void expect_config_error(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected ssq::ConfigError containing '" << needle << "'";
+  } catch (const ssq::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
 }
 
-TEST(WorkloadDeathTest, OverSubscriptionAborts) {
+TEST(WorkloadIoErrorTest, RejectsGarbage) {
+  auto parse = [](const char* text) {
+    return [text] {
+      std::istringstream in(text);
+      (void)parse_workload(in, "bad");
+    };
+  };
+  expect_config_error(parse("flow src=0 dst=1\n"), "radix");
+  expect_config_error(parse("radix 8\nflow dst=1\n"), "missing field 'src'");
+  expect_config_error(parse("radix 8\nflow src=0 dst=1 class=xx\n"),
+                      "unknown class");
+  expect_config_error(parse("radix 8\nflow src=0 dst=1 load=abc\n"),
+                      "not a number");
+  expect_config_error(parse("radix 8\nblah x=1\n"), "unknown directive");
+  expect_config_error(parse("radix 99\n"), "out of range");
+  expect_config_error(parse(""), "empty workload");
+}
+
+TEST(WorkloadErrorTest, OverSubscriptionThrows) {
   Workload w(2);
   w.add_flow(gb_flow(0, 1, 0.7, 8, 0.1));
   w.add_flow(gb_flow(1, 1, 0.7, 8, 0.1));
-  EXPECT_DEATH(w.validate(), "over-subscribed");
+  expect_config_error([&] { w.validate(); }, "over-subscribed");
 }
 
-TEST(FlowSpecDeathTest, GbWithoutReservationAborts) {
+TEST(FlowSpecErrorTest, GbWithoutReservationThrows) {
   FlowSpec f;
   f.cls = TrafficClass::GuaranteedBandwidth;
   f.inject_rate = 0.1;
-  EXPECT_DEATH(f.validate(4), "reserve");
+  expect_config_error([&] { f.validate(4); }, "reserve");
 }
 
 }  // namespace

@@ -10,15 +10,20 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <system_error>
 #include <vector>
 
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "fault/scrubber.hpp"
 #include "obs/json.hpp"
 #include "obs/probe.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
+#include "sim/error.hpp"
 #include "stats/table.hpp"
 #include "switch/observe.hpp"
 #include "switch/simulator.hpp"
@@ -64,6 +69,17 @@ Observability (see docs/OBSERVABILITY.md):
   --metrics=FILE          metrics-registry dump + periodic snapshots (JSON)
   --metrics-interval=N    snapshot sampling period in cycles (default 5000)
 
+Fault injection and recovery (see docs/FAULTS.md; SSVC mode only):
+  --fault-seed=N          fault-plan RNG seed (default 0x5eed); equal seeds
+                          replay bit-identical fault schedules
+  --fault-bitflip-rate=R  per-cycle single-bit-upset probability in [0,1]
+  --fault-stuck-lane=O,L[,low]
+                          stick GB bitline lane L of output O at 1 (or 0)
+  --fault-kill-port=P[,AT[,RESTORE]]
+                          input port P dead from cycle AT (default 0) until
+                          RESTORE (default never)
+  --scrub-interval=N      run the state scrubber every N cycles (default off)
+
   --help                  print this message and exit
 )";
 
@@ -94,24 +110,50 @@ T parse_uint(const std::string& value, std::string_view option) {
   const char* last = first + value.size();
   const auto [ptr, ec] = std::from_chars(first, last, out);
   if (value.empty() || ec != std::errc{} || ptr != last) {
-    std::fprintf(stderr,
-                 "ssq_sim: invalid value '%s' for %.*s (expected an unsigned "
-                 "integer)\n",
-                 value.c_str(), static_cast<int>(option.size()),
-                 option.data());
-    std::exit(2);
+    throw ssq::ConfigError("invalid value '" + value + "' for " +
+                           std::string(option) +
+                           " (expected an unsigned integer)");
   }
   return out;
+}
+
+/// Strict rate parse into [0, 1].
+double parse_rate(const std::string& value, std::string_view option) {
+  char* end = nullptr;
+  const double x = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size() || x < 0.0 ||
+      x > 1.0) {
+    throw ssq::ConfigError("invalid value '" + value + "' for " +
+                           std::string(option) +
+                           " (expected a rate in [0,1])");
+  }
+  return x;
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t from = 0;
+  while (true) {
+    const auto comma = s.find(',', from);
+    parts.push_back(s.substr(from, comma - from));
+    if (comma == std::string::npos) return parts;
+    from = comma + 1;
+  }
 }
 
 std::ofstream open_or_die(const std::string& path) {
   std::ofstream os(path);
   if (!os) {
-    std::fprintf(stderr, "ssq_sim: cannot open '%s' for writing\n",
-                 path.c_str());
-    std::exit(2);
+    throw ssq::ConfigError("cannot open '" + path + "' for writing");
   }
   return os;
+}
+
+/// Flushes and verifies the stream; a full disk or closed pipe must fail
+/// the run, not silently truncate the report.
+void check_write(std::ostream& os, const std::string& path) {
+  os.flush();
+  if (!os) throw std::runtime_error("write failure on '" + path + "'");
 }
 
 bool ends_with(std::string_view s, std::string_view suffix) {
@@ -168,9 +210,7 @@ void write_json_summary(std::ostream& os, const std::string& workload_path,
   os << "],\"wasted_flits\":" << sim.wasted_flits() << "}\n";
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   std::string workload_path;
   sw::SwitchConfig config;
   config.ssvc.level_bits = 4;
@@ -185,6 +225,8 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   Cycle metrics_interval = 5000;
   std::string json_path;
+  fault::FaultPlan plan;
+  Cycle scrub_interval = 0;  // 0 = scrubber off
 
   for (int a = 1; a < argc; ++a) {
     const std::string_view arg = argv[a];
@@ -257,12 +299,51 @@ int main(int argc, char** argv) {
     } else if (auto v16 = opt_value(arg, "--metrics-interval")) {
       metrics_interval = parse_uint<Cycle>(*v16, "--metrics-interval");
       if (metrics_interval == 0) {
-        std::fprintf(stderr, "ssq_sim: --metrics-interval must be >= 1\n");
-        return 2;
+        throw ssq::ConfigError("--metrics-interval must be >= 1");
       }
     } else if (auto v17 = opt_value(arg, "--json")) {
       json_path = *v17;
       if (json_path.empty()) usage(argv[0]);
+    } else if (auto v18 = opt_value(arg, "--fault-seed")) {
+      plan.seed = parse_uint<std::uint64_t>(*v18, "--fault-seed");
+    } else if (auto v19 = opt_value(arg, "--fault-bitflip-rate")) {
+      plan.bitflip_rate = parse_rate(*v19, "--fault-bitflip-rate");
+    } else if (auto v20 = opt_value(arg, "--fault-stuck-lane")) {
+      const auto parts = split_commas(*v20);
+      if (parts.size() < 2 || parts.size() > 3 ||
+          (parts.size() == 3 && parts[2] != "low" && parts[2] != "high")) {
+        throw ssq::ConfigError(
+            "--fault-stuck-lane expects OUTPUT,LANE[,low|high]");
+      }
+      plan.stuck_lanes.push_back(
+          {.output = parse_uint<OutputId>(parts[0], "--fault-stuck-lane"),
+           .lane = parse_uint<std::uint32_t>(parts[1], "--fault-stuck-lane"),
+           .stuck_high = parts.size() < 3 || parts[2] == "high",
+           .at = 0});
+    } else if (auto v21 = opt_value(arg, "--fault-kill-port")) {
+      const auto parts = split_commas(*v21);
+      if (parts.empty() || parts.size() > 3) {
+        throw ssq::ConfigError(
+            "--fault-kill-port expects PORT[,AT[,RESTORE]]");
+      }
+      fault::PortKill kill;
+      kill.input = parse_uint<InputId>(parts[0], "--fault-kill-port");
+      if (parts.size() >= 2) {
+        kill.at = parse_uint<Cycle>(parts[1], "--fault-kill-port");
+      }
+      if (parts.size() >= 3) {
+        kill.restore_at = parse_uint<Cycle>(parts[2], "--fault-kill-port");
+        if (kill.restore_at <= kill.at) {
+          throw ssq::ConfigError(
+              "--fault-kill-port RESTORE must come after AT");
+        }
+      }
+      plan.port_kills.push_back(kill);
+    } else if (auto v22 = opt_value(arg, "--scrub-interval")) {
+      scrub_interval = parse_uint<Cycle>(*v22, "--scrub-interval");
+      if (scrub_interval == 0) {
+        throw ssq::ConfigError("--scrub-interval must be >= 1");
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "ssq_sim: unknown option '%s'\n", argv[a]);
       usage(argv[0]);
@@ -292,6 +373,19 @@ int main(int argc, char** argv) {
   // Run manually so per-channel usage stays accessible afterwards.
   const auto radix = config.radix;
   sw::CrossbarSwitch sim(config, std::move(workload));
+
+  // Fault injection and scrubbing attach like the probe: nullable pointers,
+  // nothing on the hot path when absent.
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::unique_ptr<fault::StateScrubber> scrubber;
+  if (!plan.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(plan);
+    sim.attach_fault_injector(injector.get());
+  }
+  if (scrub_interval > 0) {
+    scrubber = std::make_unique<fault::StateScrubber>(scrub_interval);
+    sim.attach_scrubber(scrubber.get());
+  }
 
   // Observability: one probe feeds the tracer, the metrics registry and the
   // snapshot sampler. With no sink flags nothing is attached and the hot
@@ -395,9 +489,23 @@ int main(int argc, char** argv) {
     std::cout << "total accepted: " << r.total_accepted_rate
               << " flits/cycle over " << r.measured_cycles << " cycles\n";
   }
+  if (!csv && (injector || scrubber)) {
+    std::cout << "faults:";
+    if (injector) std::cout << " " << injector->log().size() << " injected";
+    if (injector && scrubber) std::cout << " |";
+    if (scrubber) {
+      std::cout << " scrub " << scrubber->passes() << " passes, "
+                << scrubber->repairs() << " repairs";
+    }
+    std::cout << "\n";
+  }
 
   if (tracer) {
     tracer->finish();
+    if (!tracer->ok()) {
+      throw std::runtime_error("write failure on trace file '" + trace_path +
+                               "'");
+    }
     if (!csv) {
       std::cout << "trace: " << trace_path << " (" << tracer->emitted()
                 << " events";
@@ -415,12 +523,25 @@ int main(int argc, char** argv) {
     os << ",\"metrics\":";
     probe->metrics().write_json(os);
     os << "}\n";
+    check_write(os, metrics_path);
     if (!csv) std::cout << "metrics: " << metrics_path << "\n";
   }
   if (!json_path.empty()) {
     auto os = open_or_die(json_path);
     write_json_summary(os, workload_path, mode_name, warmup, sim, r);
+    check_write(os, json_path);
     if (!csv) std::cout << "summary: " << json_path << "\n";
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ssq_sim: error: %s\n", e.what());
+    return 1;
+  }
 }
