@@ -1,0 +1,88 @@
+// Micro-benchmark (google-benchmark) for the differential checker's cost:
+// whole-switch stepping bare, under invariants-only checking, and under the
+// full three-way differential (with and without the bit-level circuit leg
+// and the deep state comparison). items_per_second = simulated cycles per
+// wall-clock second, so the overhead of each checking tier reads directly
+// off the report. Methodological (fuzz-throughput budgeting), not a paper
+// table.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "check/differential.hpp"
+#include "check/scenario.hpp"
+
+namespace {
+
+using namespace ssq;
+
+enum class Mode { Bare, Invariants, NoCircuit, NoState, Full };
+
+check::Scenario base_scenario() {
+  check::Scenario s;
+  s.name = "bench";
+  s.seed = 99;
+  s.radix = 8;
+  for (InputId i = 0; i < 3; ++i) {
+    traffic::FlowSpec gb;
+    gb.src = i;
+    gb.dst = 4;
+    gb.cls = TrafficClass::GuaranteedBandwidth;
+    gb.reserved_rate = 0.2;
+    gb.inject = traffic::InjectKind::Bernoulli;
+    gb.inject_rate = 0.25;
+    s.flows.push_back(gb);
+  }
+  traffic::FlowSpec be;
+  be.src = 5;
+  be.dst = 4;
+  be.inject = traffic::InjectKind::Bernoulli;
+  be.inject_rate = 0.4;
+  s.flows.push_back(be);
+  traffic::FlowSpec gl;
+  gl.src = 6;
+  gl.dst = 4;
+  gl.cls = TrafficClass::GuaranteedLatency;
+  gl.inject = traffic::InjectKind::Bernoulli;
+  gl.inject_rate = 0.02;
+  s.flows.push_back(gl);
+  s.gl_reservations.push_back({4, 0.05, 1});
+  return s;
+}
+
+void BM_CheckedStep(benchmark::State& state, Mode mode) {
+  const check::Scenario s = base_scenario();
+  check::ScenarioRun rig = check::instantiate(s);
+  std::optional<check::DifferentialChecker> checker;
+  if (mode != Mode::Bare) {
+    check::CheckOptions opts;
+    opts.differential = mode != Mode::Invariants;
+    opts.circuit = mode == Mode::Full || mode == Mode::NoState;
+    opts.state_compare = mode == Mode::Full || mode == Mode::NoCircuit;
+    checker.emplace(*rig.sim, opts);
+  }
+  constexpr Cycle kChunk = 1000;
+  for (auto _ : state) {
+    if (checker.has_value()) {
+      for (Cycle c = 0; c < kChunk; ++c) checker->step();
+    } else {
+      for (Cycle c = 0; c < kChunk; ++c) rig.sim->step();
+    }
+    benchmark::DoNotOptimize(rig.sim->now());
+  }
+  if (checker.has_value() && checker->divergence().has_value()) {
+    state.SkipWithError("differential checker diverged during benchmark");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kChunk));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_CheckedStep, bare, Mode::Bare);
+BENCHMARK_CAPTURE(BM_CheckedStep, invariants_only, Mode::Invariants);
+BENCHMARK_CAPTURE(BM_CheckedStep, differential_no_circuit, Mode::NoCircuit);
+BENCHMARK_CAPTURE(BM_CheckedStep, differential_no_state, Mode::NoState);
+BENCHMARK_CAPTURE(BM_CheckedStep, differential_full, Mode::Full);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,17 @@
+# Smoke-run a binary for ctest: it must exit 0 and print something.
+# Usage: cmake -DBIN=<path> [-DARGS=<semicolon-list>] -P RunSmoke.cmake
+if(NOT DEFINED BIN)
+  message(FATAL_ERROR "RunSmoke.cmake needs -DBIN=<binary>")
+endif()
+execute_process(
+  COMMAND ${BIN} ${ARGS}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BIN} exited ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+string(STRIP "${out}" stripped)
+if(stripped STREQUAL "")
+  message(FATAL_ERROR "${BIN} exited 0 but printed nothing on stdout")
+endif()

@@ -1,0 +1,126 @@
+// DifferentialChecker — lock-step three-way oracle for a running switch.
+//
+// Attaches an observability probe to a CrossbarSwitch and, from the event
+// stream alone, replays every arbitration against two independent models:
+//
+//   1. ReferenceOutput — the obviously-correct SSVC semantics (per grant:
+//      the reference must pick the same winner and class; per output-cycle
+//      with requests but no grant: the reference must agree nothing was
+//      serviceable).
+//   2. circuit::CircuitArbiter — the bit-level precharge/discharge/sense
+//      model, fed the reference's thermometer levels and LRG order (per
+//      grant: the wires must elect the same winner).
+//
+// plus per-cycle invariants that hold in every mode, faults included:
+// at most one grant per output and per input per cycle, and conservation of
+// packets (delivered <= buffered <= created, per flow). In differential mode
+// it additionally deep-compares arbiter state every cycle (auxVC values,
+// thermometer levels — stored and sensed —, LRG ranks, GL clock, epoch
+// real time) and enforces the GL policing bound and counter-cap safety.
+//
+// The first mismatch is captured as a Divergence with a full state dump of
+// both sides; checking stops there so the dump describes the *first* broken
+// cycle, not a cascade.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arb/lrg.hpp"
+#include "check/reference.hpp"
+#include "circuit/circuit_arbiter.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
+#include "switch/crossbar.hpp"
+
+namespace ssq::check {
+
+struct CheckOptions {
+  /// Reference-model + circuit comparisons. Requires SsvcQos mode with
+  /// SingleRequest allocation and no fault injection (faults legitimately
+  /// corrupt the state the oracle predicts). Invariants always run.
+  bool differential = true;
+  /// Third leg: bit-level circuit arbitration per grant (differential only).
+  bool circuit = true;
+  /// Deep per-cycle arbiter state comparison (differential only).
+  bool state_compare = true;
+  /// Deliberate defect planted in the reference model (tests only).
+  PlantedBug bug = PlantedBug::None;
+};
+
+struct Divergence {
+  Cycle cycle = 0;
+  OutputId output = kNoPort;
+  std::string kind;    // short machine-greppable tag, e.g. "winner_mismatch"
+  std::string detail;  // full human-readable state dump
+};
+
+class DifferentialChecker {
+ public:
+  /// Attaches to `sim` (which must outlive the checker). The checker owns
+  /// the probe; attaching replaces any probe already on the switch.
+  explicit DifferentialChecker(sw::CrossbarSwitch& sim, CheckOptions opts = {});
+  ~DifferentialChecker();
+  DifferentialChecker(const DifferentialChecker&) = delete;
+  DifferentialChecker& operator=(const DifferentialChecker&) = delete;
+
+  /// Advances the switch one cycle and checks it. Returns false once a
+  /// divergence has been recorded (the switch is no longer stepped).
+  bool step();
+
+  /// step() up to `cycles` times; returns false if a divergence stopped it.
+  bool run(Cycle cycles);
+
+  [[nodiscard]] const std::optional<Divergence>& divergence() const noexcept {
+    return divergence_;
+  }
+  /// Grants compared against the reference (chained grants included).
+  [[nodiscard]] std::uint64_t grants_checked() const noexcept {
+    return grants_checked_;
+  }
+  [[nodiscard]] const CheckOptions& options() const noexcept { return opts_; }
+  [[nodiscard]] obs::SwitchProbe& probe() noexcept { return probe_; }
+
+ private:
+  struct ForwardSink final : obs::TraceSink {
+    DifferentialChecker* self = nullptr;
+    void on_event(const obs::Event& e) override { self->handle(e); }
+  };
+
+  void handle(const obs::Event& e);
+  void check_grant(const obs::Event& e, bool chained);
+  void check_circuit(const obs::Event& e, const ReferenceOutput& ref,
+                     bool gl_ok);
+  void end_cycle(Cycle t);
+  void compare_state(Cycle t);
+  void fail(Cycle t, OutputId o, std::string kind, std::string detail);
+  [[nodiscard]] std::string dump_output_state(OutputId o) const;
+  [[nodiscard]] std::string dump_requests(OutputId o) const;
+
+  sw::CrossbarSwitch& sim_;
+  CheckOptions opts_;
+  ForwardSink sink_;
+  obs::Tracer tracer_;
+  obs::SwitchProbe probe_;
+
+  std::vector<ReferenceOutput> refs_;             // per output
+  std::vector<std::vector<core::ClassRequest>> reqs_;  // per output, this cycle
+  std::vector<InputId> granted_;                  // per output, this cycle
+  std::vector<std::uint8_t> input_granted_;       // per input, this cycle
+  bool single_request_ = false;
+  std::uint64_t requesting_inputs_ = 0;           // this cycle (SingleRequest)
+
+  // Packet conservation, per flow.
+  std::vector<std::uint64_t> created_, buffered_, delivered_;
+
+  // Circuit leg (constructed only when enabled).
+  std::optional<circuit::CircuitArbiter> circuit_;
+  std::optional<arb::LrgArbiter> circuit_lrg_;
+
+  std::optional<Divergence> divergence_;
+  std::uint64_t grants_checked_ = 0;
+};
+
+}  // namespace ssq::check

@@ -1,0 +1,32 @@
+// Scenario shrinking — reduce a failing fuzz scenario to a minimal repro.
+//
+// Greedy delta-debugging to a fixpoint: each pass tries a sequence of
+// simplifications (truncate cycles just past the failure, drop whole flows,
+// drop fault-plan entries, collapse packet-length ranges, strip optional
+// machinery), keeping a candidate only if it still fails the differential
+// check. Every candidate is a full deterministic re-run, so the result is a
+// scenario that *provably* still reproduces a divergence — typically a
+// handful of cycles and one or two flows, small enough to read and to commit
+// under tests/golden/ as a regression.
+#pragma once
+
+#include <cstdint>
+
+#include "check/scenario.hpp"
+
+namespace ssq::check {
+
+struct ShrinkResult {
+  Scenario scenario;       // the minimised repro (still failing)
+  RunResult failure;       // the failure the minimised scenario produces
+  std::uint32_t attempts = 0;  // candidate runs performed
+  std::uint32_t accepted = 0;  // candidates that kept failing (simplifications)
+};
+
+/// Shrinks `failing` (which must fail under `opts`; SSQ_EXPECTed). Stops at
+/// a fixpoint or after `max_attempts` candidate runs, whichever first.
+[[nodiscard]] ShrinkResult shrink(const Scenario& failing,
+                                  const CheckOptions& opts = {},
+                                  std::uint32_t max_attempts = 400);
+
+}  // namespace ssq::check

@@ -1,0 +1,45 @@
+// Golden traces — a canonical, byte-stable text rendering of a scenario's
+// observable behaviour, for the committed regression corpus under
+// tests/golden/.
+//
+// GoldenTraceSink writes one space-separated integer-only line per selected
+// event (grants, deliveries, management and fault/recovery events — the
+// semantically load-bearing ones; the chatty per-cycle kinds are excluded to
+// keep committed files small and diffs readable) plus an `end` footer with
+// totals. The format has no floats, no pointers and no timestamps, so equal
+// runs produce byte-identical files on every platform — that equality is the
+// regression check.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "check/scenario.hpp"
+#include "obs/trace.hpp"
+
+namespace ssq::check {
+
+class GoldenTraceSink final : public obs::TraceSink {
+ public:
+  explicit GoldenTraceSink(std::ostream& os) : os_(os) {}
+  void on_event(const obs::Event& e) override;
+  void finish() override;
+  [[nodiscard]] bool ok() const override;
+
+  /// True for kinds a golden trace records.
+  [[nodiscard]] static bool selected(obs::EventKind k) noexcept;
+
+ private:
+  std::ostream& os_;
+  std::uint64_t lines_ = 0;
+  Cycle last_cycle_ = 0;
+  bool finished_ = false;
+};
+
+/// Runs the scenario (with its fault plan and scrubber, no checker) under a
+/// GoldenTraceSink and returns the trace text. Deterministic: equal
+/// scenarios yield byte-equal strings.
+[[nodiscard]] std::string golden_trace(const Scenario& s);
+
+}  // namespace ssq::check

@@ -1,0 +1,113 @@
+// Golden-trace regression corpus: every committed scenario under
+// tests/golden/ must replay to a byte-exact copy of its committed .trace
+// file, and the clean ones must pass the full differential check. A
+// legitimate behaviour change shows up here as a readable trace diff;
+// regenerate with
+//   ssq_fuzz --replay=tests/golden/NAME.scenario --trace=tests/golden/NAME.trace
+// and review the diff like any other code change (docs/TESTING.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/scenario.hpp"
+#include "check/trace.hpp"
+
+namespace ssq::check {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpus() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(SSQ_GOLDEN_DIR)) {
+    if (entry.path().extension() == ".scenario") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << p;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(Golden, CorpusCoversTheFeatureMatrix) {
+  const auto files = corpus();
+  ASSERT_GE(files.size(), 6u) << "golden corpus shrank below 6 scenarios";
+
+  bool any_fault = false;
+  bool any_clean = false;
+  bool any_gl = false;
+  std::uint32_t min_radix = 64;
+  std::uint32_t max_radix = 2;
+  for (const auto& f : files) {
+    const Scenario s = load_scenario(f.string());
+    min_radix = std::min(min_radix, s.radix);
+    max_radix = std::max(max_radix, s.radix);
+    any_fault |= s.has_faults();
+    any_clean |= !s.has_faults();
+    for (const auto& fl : s.flows) {
+      any_gl |= fl.cls == TrafficClass::GuaranteedLatency;
+    }
+  }
+  EXPECT_LE(min_radix, 8u);
+  EXPECT_GE(max_radix, 64u);
+  EXPECT_TRUE(any_fault) << "corpus needs a fault-injected scenario";
+  EXPECT_TRUE(any_clean) << "corpus needs clean scenarios";
+  EXPECT_TRUE(any_gl) << "corpus needs GL traffic";
+}
+
+TEST(Golden, TracesReplayByteExactly) {
+  for (const auto& file : corpus()) {
+    const Scenario s = load_scenario(file.string());
+    fs::path trace_file = file;
+    trace_file.replace_extension(".trace");
+    ASSERT_TRUE(fs::exists(trace_file))
+        << file << " has no committed .trace — generate one with ssq_fuzz "
+                   "--replay --trace";
+    const std::string expected = slurp(trace_file);
+    const std::string actual = golden_trace(s);
+    // Byte equality; on mismatch point at the first differing line rather
+    // than dumping two multi-thousand-line traces.
+    if (actual != expected) {
+      std::istringstream ia(actual), ie(expected);
+      std::string la, le;
+      std::size_t line = 0;
+      while (true) {
+        ++line;
+        const bool ga = static_cast<bool>(std::getline(ia, la));
+        const bool ge = static_cast<bool>(std::getline(ie, le));
+        if (!ga && !ge) break;
+        ASSERT_EQ(ga, ge) << s.name << ": trace length differs at line "
+                          << line;
+        ASSERT_EQ(la, le) << s.name << ": first divergence at line " << line;
+      }
+      FAIL() << s.name << ": traces differ";  // unreachable belt-and-braces
+    }
+  }
+}
+
+TEST(Golden, CleanScenariosPassTheDifferentialCheck) {
+  std::uint64_t grants = 0;
+  for (const auto& file : corpus()) {
+    const Scenario s = load_scenario(file.string());
+    const RunResult r = run_scenario(s);
+    EXPECT_FALSE(r.failed) << s.name << ": " << r.kind << " at cycle "
+                           << r.fail_cycle << "\n" << r.detail;
+    grants += r.grants_checked;
+  }
+  EXPECT_GT(grants, 5000u) << "corpus exercises too little arbitration";
+}
+
+}  // namespace
+}  // namespace ssq::check

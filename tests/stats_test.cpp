@@ -2,8 +2,10 @@
 // recording, throughput windows, table rendering.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "sim/rng.hpp"
 #include "stats/ascii_plot.hpp"
@@ -277,6 +279,121 @@ TEST(TableTest, WantCsvFlag) {
   const char* argv2[] = {"prog"};
   EXPECT_TRUE(want_csv(2, const_cast<char**>(argv1)));
   EXPECT_FALSE(want_csv(1, const_cast<char**>(argv2)));
+}
+
+// ---- randomized property tests -------------------------------------------
+//
+// Merge-order invariance and quantile monotonicity must hold for ANY input,
+// not just the hand-picked samples above; these sweeps draw random sample
+// sets from seeded Rngs so failures replay exactly.
+
+TEST(StreamingProperty, MergeIsOrderAndChunkingInvariant) {
+  Rng rng(900);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.below(400);
+    std::vector<double> xs(n);
+    for (auto& x : xs) x = rng.uniform() * 1000.0;
+
+    Streaming whole;
+    for (double x : xs) whole.add(x);
+
+    // Split into k chunks, accumulate separately, merge in a random order.
+    const std::size_t k = 1 + rng.below(5);
+    std::vector<Streaming> parts(k);
+    for (std::size_t i = 0; i < n; ++i) parts[rng.below(k)].add(xs[i]);
+    std::vector<std::size_t> order(k);
+    for (std::size_t i = 0; i < k; ++i) order[i] = i;
+    for (std::size_t i = k; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.below(i)]);
+    }
+    Streaming merged;
+    for (std::size_t i : order) merged.merge(parts[i]);
+
+    ASSERT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9 * (1.0 + whole.mean()));
+    EXPECT_NEAR(merged.variance(), whole.variance(),
+                1e-6 * (1.0 + whole.variance()));
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  }
+}
+
+TEST(HistogramProperty, MergeIsOrderInvariantAndMatchesSinglePass) {
+  Rng rng(901);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double width = 0.5 + rng.uniform() * 4.0;
+    const std::size_t bins = 4 + rng.below(60);
+    Histogram whole(width, bins);
+    Histogram a(width, bins), b(width, bins), c(width, bins);
+    const std::size_t n = 1 + rng.below(600);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = rng.uniform() * width * static_cast<double>(bins) * 1.5;
+      whole.add(x);
+      (i % 3 == 0 ? a : (i % 3 == 1 ? b : c)).add(x);
+    }
+    // b <- a then c, against c <- b then a: different orders, same result.
+    Histogram ab = b;
+    ab.merge(a);
+    ab.merge(c);
+    Histogram cb = c;
+    cb.merge(b);
+    cb.merge(a);
+    ASSERT_EQ(ab.total(), whole.total());
+    ASSERT_EQ(cb.total(), whole.total());
+    for (std::size_t i = 0; i <= bins; ++i) {
+      EXPECT_EQ(ab.bin_count(i), whole.bin_count(i)) << "bin " << i;
+      EXPECT_EQ(cb.bin_count(i), whole.bin_count(i)) << "bin " << i;
+    }
+    EXPECT_DOUBLE_EQ(ab.max_seen(), whole.max_seen());
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+      EXPECT_DOUBLE_EQ(ab.percentile(q), whole.percentile(q)) << "q=" << q;
+    }
+  }
+}
+
+TEST(HistogramProperty, QuantilesAreMonotoneInQ) {
+  Rng rng(902);
+  for (int trial = 0; trial < 20; ++trial) {
+    Histogram h(1.0 + rng.uniform() * 3.0, 4 + rng.below(40));
+    const std::size_t n = 1 + rng.below(500);
+    double true_max = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Heavy tail so some samples land in the overflow bin.
+      const double x = rng.uniform() * 50.0 / (1.0 - 0.98 * rng.uniform());
+      h.add(x);
+      true_max = std::max(true_max, x);
+    }
+    double prev = -1.0;
+    for (int step = 0; step <= 100; ++step) {
+      const double q = static_cast<double>(step) / 100.0;
+      const double v = h.percentile(q);
+      EXPECT_GE(v, prev) << "percentile not monotone at q=" << q;
+      // In-bin interpolation may overshoot the true max by at most one bin.
+      EXPECT_LE(v, true_max + h.bin_width() + 1e-9)
+          << "percentile above the bin holding the true max";
+      prev = v;
+    }
+    if (h.overflow_count() > 0) {
+      // Queries resolving in the unbounded overflow bin report the true max.
+      EXPECT_DOUBLE_EQ(h.percentile(1.0), h.max_seen());
+    }
+  }
+}
+
+TEST(StreamingProperty, QuantileBracketsMeanAndExtremes) {
+  // mean within [min, max], stddev >= 0, and Welford never goes negative on
+  // adversarially similar values (catastrophic-cancellation guard).
+  Rng rng(903);
+  for (int trial = 0; trial < 20; ++trial) {
+    Streaming s;
+    const double base = 1e9;
+    const std::size_t n = 2 + rng.below(200);
+    for (std::size_t i = 0; i < n; ++i) s.add(base + rng.uniform() * 1e-3);
+    EXPECT_GE(s.mean(), s.min());
+    EXPECT_LE(s.mean(), s.max());
+    EXPECT_GE(s.variance(), 0.0);
+    EXPECT_GE(s.sample_variance(), s.variance());
+  }
 }
 
 }  // namespace

@@ -19,6 +19,18 @@
 namespace ssq {
 namespace {
 
+// Reduced sweep by default so plain `ctest -j` stays fast; the CMake option
+// SSQ_STRESS_FULL restores the original full-depth runs.
+#ifdef SSQ_STRESS_FULL
+constexpr Cycle kWarmupCycles = 2000;
+constexpr Cycle kMeasureCycles = 60000;
+constexpr int kNumSeeds = 8;
+#else
+constexpr Cycle kWarmupCycles = 1000;
+constexpr Cycle kMeasureCycles = 12000;
+constexpr int kNumSeeds = 4;
+#endif
+
 struct ChaosSetup {
   sw::SwitchConfig config;
   traffic::Workload workload;
@@ -111,8 +123,8 @@ TEST_P(ChaosP, InvariantsHoldUnderRandomFeatureMix) {
   ChaosSetup setup = make_setup(seed);
   const auto flows = setup.workload.flows();  // copy for later inspection
   sw::CrossbarSwitch sim(setup.config, std::move(setup.workload));
-  sim.warmup(2000);
-  sim.measure(60000);
+  sim.warmup(kWarmupCycles);
+  sim.measure(kMeasureCycles);
 
   // Per-output goodput <= 1 flit/cycle.
   std::vector<double> out_rate(setup.config.radix, 0.0);
@@ -142,14 +154,14 @@ TEST_P(ChaosP, InvariantsHoldUnderRandomFeatureMix) {
   // Bit-exact reproducibility.
   ChaosSetup again = make_setup(seed);
   sw::CrossbarSwitch sim2(again.config, std::move(again.workload));
-  sim2.warmup(2000);
-  sim2.measure(60000);
+  sim2.warmup(kWarmupCycles);
+  sim2.measure(kMeasureCycles);
   for (FlowId f = 0; f < flows.size(); ++f) {
     ASSERT_EQ(sim2.delivered_packets(f), sim.delivered_packets(f));
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ChaosP, ::testing::Range(0, 8),
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosP, ::testing::Range(0, kNumSeeds),
                          [](const auto& pinfo) {
                            return "seed" + std::to_string(pinfo.param);
                          });

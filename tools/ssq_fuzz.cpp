@@ -1,0 +1,274 @@
+// ssq_fuzz — differential-oracle scenario fuzzer for the SSVC switch.
+//
+// Generates deterministic randomized scenarios (config x workload x fault
+// plan), runs each under the three-way differential check (reference model,
+// CrossbarSwitch, bit-level circuit arbiter) plus the always-on invariants,
+// shrinks any failure to a minimal repro file, and exits nonzero. Replay a
+// repro with --replay=FILE; docs/TESTING.md walks through the workflow.
+//
+// Exit codes: 0 all scenarios passed, 1 divergence found, 2 bad usage/config.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "check/differential.hpp"
+#include "check/scenario.hpp"
+#include "check/shrink.hpp"
+#include "check/trace.hpp"
+#include "sim/error.hpp"
+
+namespace {
+
+using namespace ssq;
+
+constexpr const char* kHelp = R"(usage: ssq_fuzz [options]
+
+Randomized differential testing of the SSVC switch: every grant is checked
+against an independent reference model and the bit-level circuit arbiter;
+per-cycle invariants (single grant per port, GL policing bound, counter-cap
+safety, packet conservation) run in every mode, faults included.
+
+Campaign:
+  --scenarios=N           scenarios to run (default 200)
+  --seed=N                campaign base seed (default 1); equal seeds replay
+                          the exact same scenario sequence
+  --time-budget=SECONDS   stop starting new scenarios after this much wall
+                          clock (default 0 = no budget)
+
+Checking:
+  --no-circuit            skip the bit-level circuit arbitration leg
+  --no-state              skip the deep per-cycle arbiter state comparison
+  --plant=BUG             plant a deliberate defect in the reference model
+                          (self-test: the fuzzer must catch it). BUG is one
+                          of gb_vtick_off_by_one, lrg_no_move_to_back,
+                          gl_allowance_off_by_one, skip_epoch_wrap
+
+Failures:
+  --repro-dir=DIR         write shrunk repro files here (default .)
+  --no-shrink             keep the first failing scenario as-is
+
+Replay and corpus authoring:
+  --replay=FILE           run one scenario file instead of a campaign
+  --trace=FILE            with --replay: write the scenario's golden trace
+                          to FILE ('-' = stdout) and exit (no checking)
+  --emit=N --write=FILE   serialise generated scenario N to FILE and exit
+
+  --quiet                 only print failures and the final summary
+  --help                  print this message and exit
+)";
+
+std::optional<std::string> opt_value(std::string_view arg,
+                                     std::string_view key) {
+  if (arg.substr(0, key.size()) != key) return std::nullopt;
+  if (arg.size() == key.size()) return std::string{};
+  if (arg[key.size()] != '=') return std::nullopt;
+  return std::string(arg.substr(key.size() + 1));
+}
+
+std::uint64_t parse_u64(const std::string& value, std::string_view option) {
+  char* end = nullptr;
+  const std::uint64_t x = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size()) {
+    throw ConfigError("invalid value '" + value + "' for " +
+                      std::string(option) + " (expected an unsigned integer)");
+  }
+  return x;
+}
+
+check::PlantedBug parse_bug(const std::string& value) {
+  for (const auto b :
+       {check::PlantedBug::GbVtickOffByOne, check::PlantedBug::LrgNoMoveToBack,
+        check::PlantedBug::GlAllowanceOffByOne,
+        check::PlantedBug::SkipEpochWrap}) {
+    if (value == check::to_string(b)) return b;
+  }
+  throw ConfigError("unknown --plant bug '" + value + "'");
+}
+
+void report_failure(const check::Scenario& s, const check::RunResult& r) {
+  std::cout << "FAIL " << s.name << ": " << r.kind << " at cycle "
+            << r.fail_cycle << " output " << r.output << "\n"
+            << r.detail << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t scenarios = 200;
+  std::uint64_t base_seed = 1;
+  std::uint64_t time_budget_s = 0;
+  check::CheckOptions opts;
+  bool do_shrink = true;
+  bool quiet = false;
+  std::string repro_dir = ".";
+  std::string replay_path;
+  std::string trace_path;
+  std::string write_path;
+  std::optional<std::uint64_t> emit_index;
+
+  try {
+    for (int a = 1; a < argc; ++a) {
+      const std::string_view arg = argv[a];
+      if (arg == "--help") {
+        std::cout << kHelp;
+        return 0;
+      } else if (auto v = opt_value(arg, "--scenarios")) {
+        scenarios = parse_u64(*v, "--scenarios");
+      } else if (auto v2 = opt_value(arg, "--seed")) {
+        base_seed = parse_u64(*v2, "--seed");
+      } else if (auto v3 = opt_value(arg, "--time-budget")) {
+        time_budget_s = parse_u64(*v3, "--time-budget");
+      } else if (arg == "--no-circuit") {
+        opts.circuit = false;
+      } else if (arg == "--no-state") {
+        opts.state_compare = false;
+      } else if (auto v4 = opt_value(arg, "--plant")) {
+        opts.bug = parse_bug(*v4);
+      } else if (auto v5 = opt_value(arg, "--repro-dir")) {
+        repro_dir = *v5;
+      } else if (arg == "--no-shrink") {
+        do_shrink = false;
+      } else if (auto v6 = opt_value(arg, "--replay")) {
+        replay_path = *v6;
+      } else if (auto v7 = opt_value(arg, "--trace")) {
+        trace_path = *v7;
+      } else if (auto v8 = opt_value(arg, "--emit")) {
+        emit_index = parse_u64(*v8, "--emit");
+      } else if (auto v9 = opt_value(arg, "--write")) {
+        write_path = *v9;
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else {
+        std::cerr << "unknown option '" << arg << "' (--help for the list)\n";
+        return 2;
+      }
+    }
+
+    // Corpus authoring: serialise one generated scenario and exit.
+    if (emit_index.has_value()) {
+      if (write_path.empty()) {
+        throw ConfigError("--emit needs --write=FILE");
+      }
+      const check::Scenario s = check::generate_scenario(*emit_index,
+                                                         base_seed);
+      std::ofstream out(write_path);
+      if (!out) {
+        throw ConfigError("cannot open '" + write_path + "' for writing");
+      }
+      check::write_scenario(out, s);
+      out.flush();
+      if (!out) throw ConfigError("write failure on '" + write_path + "'");
+      return 0;
+    }
+
+    // Replay mode: one scenario file, optionally just dumping its trace.
+    if (!replay_path.empty()) {
+      const check::Scenario s = check::load_scenario(replay_path);
+      if (!trace_path.empty()) {
+        const std::string trace = check::golden_trace(s);
+        if (trace_path == "-") {
+          std::cout << trace;
+          if (!std::cout.flush()) return 2;
+        } else {
+          std::ofstream out(trace_path);
+          out << trace;
+          out.flush();
+          if (!out) {
+            throw ConfigError("write failure on '" + trace_path + "'");
+          }
+        }
+        return 0;
+      }
+      const check::RunResult r = check::run_scenario(s, opts);
+      if (r.failed) {
+        report_failure(s, r);
+        return 1;
+      }
+      if (!quiet) {
+        std::cout << "ok " << s.name << ": " << r.grants_checked
+                  << " grants checked, " << r.delivered
+                  << " packets delivered\n";
+      }
+      return 0;
+    }
+
+    // Campaign mode.
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t ran = 0;
+    std::uint64_t grants = 0;
+    std::uint64_t delivered = 0;
+    for (std::uint64_t i = 0; i < scenarios; ++i) {
+      if (time_budget_s != 0) {
+        const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+        if (elapsed >= 0 &&
+            static_cast<std::uint64_t>(elapsed) >= time_budget_s) {
+          if (!quiet) {
+            std::cout << "time budget reached after " << ran
+                      << " scenarios\n";
+          }
+          break;
+        }
+      }
+      const check::Scenario s = check::generate_scenario(i, base_seed);
+      const check::RunResult r = check::run_scenario(s, opts);
+      ++ran;
+      grants += r.grants_checked;
+      delivered += r.delivered;
+      if (!r.failed) {
+        if (!quiet) {
+          std::cout << "ok " << s.name << " radix=" << s.radix
+                    << " cycles=" << s.cycles << " grants=" << r.grants_checked
+                    << "\n";
+        }
+        continue;
+      }
+      report_failure(s, r);
+      check::Scenario repro = s;
+      if (do_shrink) {
+        const check::ShrinkResult sh = check::shrink(s, opts);
+        repro = sh.scenario;
+        std::cout << "shrunk to " << repro.cycles << " cycles, "
+                  << repro.flows.size() << " flows ("
+                  << sh.accepted << "/" << sh.attempts
+                  << " reductions accepted); failure now: "
+                  << sh.failure.kind << " at cycle " << sh.failure.fail_cycle
+                  << "\n";
+      }
+      const std::string path = repro_dir + "/repro-" +
+                               std::to_string(base_seed) + "-" +
+                               std::to_string(i) + ".scenario";
+      std::error_code ec;  // best-effort; the open below reports failure
+      std::filesystem::create_directories(repro_dir, ec);
+      std::ofstream out(path);
+      if (out) {
+        check::write_scenario(out, repro);
+        out.flush();
+      }
+      if (!out) {
+        std::cerr << "warning: could not write repro to '" << path << "'\n";
+      } else {
+        std::cout << "repro written to " << path
+                  << " (replay: ssq_fuzz --replay=" << path << ")\n";
+      }
+      return 1;
+    }
+    const auto total_s = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    std::cout << "all " << ran << " scenarios passed: " << grants
+              << " grants checked, " << delivered << " packets delivered, "
+              << static_cast<double>(total_s) / 1000.0 << "s\n";
+    return 0;
+  } catch (const ConfigError& e) {
+    std::cerr << "ssq_fuzz: " << e.what() << "\n";
+    return 2;
+  }
+}
