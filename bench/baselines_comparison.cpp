@@ -78,13 +78,19 @@ sw::ExperimentResult run(const Policy& p, bool flow0_idle) {
   return sw::run_experiment(config, std::move(w), 5000, 60000);
 }
 
-void scenario(const char* title, bool flow0_idle,
+void scenario(const char* title, bool flow0_idle, unsigned jobs,
               bench::BenchReport& report) {
   stats::Table t(title);
   t.header({"policy", "f0(40%)", "f1(30%)", "f2(20%)", "f3(10%)", "total",
             "mean_latency"});
-  for (const auto& p : kPolicies) {
-    const auto r = run(p, flow0_idle);
+  // One independent simulation per policy; results rendered in policy order.
+  const std::vector<sw::ExperimentResult> results =
+      bench::run_points<sw::ExperimentResult>(
+          jobs, kPolicies.size(),
+          [&](std::size_t i) { return run(kPolicies[i], flow0_idle); });
+  for (std::size_t pi = 0; pi < kPolicies.size(); ++pi) {
+    const auto& p = kPolicies[pi];
+    const auto& r = results[pi];
     t.row().cell(p.name);
     double lat = 0.0;
     int lat_n = 0;
@@ -105,13 +111,14 @@ void scenario(const char* title, bool flow0_idle,
 
 int main(int argc, char** argv) {
   ssq::bench::BenchReport report("baselines_comparison", argc, argv);
+  const unsigned jobs = ssq::bench::parse_jobs(argc, argv);
   std::cout << "Sec. 2.2 / Sec. 5 baselines: one output, reservations "
                "40/30/20/10 %, 8-flit packets\n\n";
-  scenario("Scenario 1 - all flows saturated (offered 0.9 each)", false,
+  scenario("Scenario 1 - all flows saturated (offered 0.9 each)", false, jobs,
            report);
   scenario("Scenario 2 - the 40% flow goes idle: is its share "
            "redistributed or wasted?",
-           true, report);
+           true, jobs, report);
   std::cout
       << "Reading scenario 2's `total`: work-conserving policies fill the "
          "channel (~0.889);\nTDM wastes the idle owner's slots; GSF loses "

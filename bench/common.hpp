@@ -5,7 +5,9 @@
 // documented in docs/OBSERVABILITY.md).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -13,12 +15,39 @@
 #include <utility>
 #include <vector>
 
+#include "exec/thread_pool.hpp"
 #include "obs/json.hpp"
 #include "stats/table.hpp"
 #include "switch/config.hpp"
 #include "traffic/flow.hpp"
 
 namespace ssq::bench {
+
+/// Parses `--jobs=N` from argv (default 1 = serial; 0 = all hardware
+/// threads). Sweep benches use this to farm independent configuration
+/// points out to a thread pool; each point seeds its own RNG from the
+/// switch config, so results are identical at any job count.
+inline unsigned parse_jobs(int argc, char** argv) {
+  unsigned jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, 7) == "--jobs=") {
+      jobs = static_cast<unsigned>(
+          std::strtoul(std::string(arg.substr(7)).c_str(), nullptr, 10));
+      if (jobs == 0) jobs = exec::ThreadPool::hardware_threads();
+    }
+  }
+  return jobs;
+}
+
+/// Runs `fn(i)` for every configuration point in [0, n) on `jobs` threads
+/// and returns the results in index order. `fn` must be pure per index
+/// (every sweep bench constructs its switch + RNG inside the callable).
+template <typename R, typename Fn>
+std::vector<R> run_points(unsigned jobs, std::size_t n, Fn&& fn) {
+  exec::ThreadPool pool(jobs);
+  return exec::run_batch<R>(pool, n, std::forward<Fn>(fn));
+}
 
 /// Per-bench output harness. Renders every table to stdout exactly like the
 /// old `t.render(std::cout, csv)` calls, and — when `--json` (default path

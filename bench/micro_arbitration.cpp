@@ -141,6 +141,44 @@ void BM_SwitchStep(benchmark::State& state, ObsMode mode) {
                           static_cast<std::int64_t>(kChunk));
 }
 
+// Whole-switch SSVC stepping parameterised by radix (8/16/32/64) on a
+// saturated hotspot: radix/2 GB reservations onto output 0 plus spread
+// best-effort from the remaining inputs. This is the configuration the
+// perf-regression gate tracks (tools/ssq_bench, BENCH_hotpath.json) —
+// items_per_second here is the radix-N "cycles/sec" headline.
+void BM_SwitchStepRadix(benchmark::State& state) {
+  const auto radix = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t gb = radix / 2;
+  traffic::Workload w(radix);
+  for (InputId i = 0; i < gb; ++i) {
+    w.add_flow(bench::make_gb_flow(i, 0, 0.88 / gb, 8, 0.5));
+  }
+  for (InputId i = gb; i < radix; ++i) {
+    traffic::FlowSpec f;
+    f.src = i;
+    f.dst = 1 + (i % (radix - 1));
+    f.cls = TrafficClass::BestEffort;
+    f.len_min = f.len_max = 8;
+    f.inject = traffic::InjectKind::Bernoulli;
+    f.inject_rate = 0.3;
+    w.add_flow(f);
+  }
+  auto config = bench::paper_switch_config();
+  config.radix = radix;
+  config.ssvc.level_bits = 2;
+  config.ssvc.lsb_bits = 8;
+  sw::CrossbarSwitch sim(config, std::move(w));
+  sim.warmup(2000);
+
+  constexpr Cycle kChunk = 1000;
+  for (auto _ : state) {
+    sim.run(kChunk);
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kChunk));
+}
+
 // Same stepping workload with the fault subsystem in its three states:
 // detached (the default null-pointer fast path — must be within noise of
 // BM_SwitchStep/obs_off), attached with an empty plan (outage checks only),
@@ -187,6 +225,7 @@ BENCHMARK_CAPTURE(BM_BaselineArbiter, virtual_clock,
     ->Arg(8)->Arg(64);
 BENCHMARK(BM_SsvcPickGrant)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 BENCHMARK(BM_CircuitArbitrate)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_SwitchStepRadix)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 BENCHMARK_CAPTURE(BM_SwitchStep, obs_off, ObsMode::Off);
 BENCHMARK_CAPTURE(BM_SwitchStep, obs_metrics, ObsMode::Metrics);
 BENCHMARK_CAPTURE(BM_SwitchStep, obs_trace_null_sink, ObsMode::Trace);

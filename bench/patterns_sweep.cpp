@@ -58,24 +58,45 @@ Result run(traffic::Pattern pattern, TrafficClass cls, double load) {
 
 int main(int argc, char** argv) {
   ssq::bench::BenchReport report("patterns_sweep", argc, argv);
+  const unsigned jobs = ssq::bench::parse_jobs(argc, argv);
   std::cout << "Extension: classic synthetic patterns on the radix-8 SSVC "
                "switch (8-flit packets; per-port ceiling 8/9)\n\n";
 
-  for (TrafficClass cls :
-       {TrafficClass::BestEffort, TrafficClass::GuaranteedBandwidth}) {
+  // Enumerate every (class, pattern, load) point, farm the independent
+  // simulations out to the pool, then render in enumeration order.
+  constexpr TrafficClass kClasses[] = {TrafficClass::BestEffort,
+                                       TrafficClass::GuaranteedBandwidth};
+  constexpr traffic::Pattern kPatterns[] = {
+      traffic::Pattern::UniformRandom, traffic::Pattern::Hotspot,
+      traffic::Pattern::Transpose, traffic::Pattern::Tornado,
+      traffic::Pattern::Neighbour};
+  constexpr double kLoads[] = {0.2, 0.5, 0.9};
+  struct Point {
+    TrafficClass cls;
+    traffic::Pattern pattern;
+    double load;
+  };
+  std::vector<Point> points;
+  for (TrafficClass cls : kClasses)
+    for (traffic::Pattern p : kPatterns)
+      for (double load : kLoads) points.push_back({cls, p, load});
+  const std::vector<Result> results = ssq::bench::run_points<Result>(
+      jobs, points.size(), [&](std::size_t i) {
+        return run(points[i].pattern, points[i].cls, points[i].load);
+      });
+
+  std::size_t next = 0;
+  for (TrafficClass cls : kClasses) {
     stats::Table t(std::string("Accepted flits/input/cycle (") +
                    (cls == TrafficClass::BestEffort ? "best-effort"
                                                     : "GB-reserved") +
                    ")");
     t.header({"pattern", "load=0.2", "lat", "load=0.5", "lat", "load=0.9",
               "lat"});
-    for (traffic::Pattern p :
-         {traffic::Pattern::UniformRandom, traffic::Pattern::Hotspot,
-          traffic::Pattern::Transpose, traffic::Pattern::Tornado,
-          traffic::Pattern::Neighbour}) {
+    for (traffic::Pattern p : kPatterns) {
       t.row().cell(traffic::pattern_name(p));
-      for (double load : {0.2, 0.5, 0.9}) {
-        const auto r = run(p, cls, load);
+      for ([[maybe_unused]] double load : kLoads) {
+        const Result& r = results[next++];
         t.cell(r.accepted_per_input, 3);
         t.cell(r.mean_latency, 1);
       }

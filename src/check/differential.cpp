@@ -54,6 +54,8 @@ DifferentialChecker::DifferentialChecker(sw::CrossbarSwitch& sim,
       layout.bus_width = radix * (gb_lanes + 2);
       circuit_.emplace(layout);
       circuit_lrg_.emplace(radix);
+      creqs_.reserve(radix);
+      ctrace_.emplace(layout.bus_width);
     } else {
       opts_.circuit = false;
     }
@@ -195,8 +197,8 @@ void DifferentialChecker::check_circuit(const obs::Event& e,
   // Build the crosspoint request vector the wires would see, from the
   // reference model's view of the state (levels + LRG order), so the circuit
   // leg is independent of the production arbiter.
-  std::vector<circuit::CrosspointRequest> creqs;
-  creqs.reserve(reqs_[e.output].size());
+  std::vector<circuit::CrosspointRequest>& creqs = creqs_;
+  creqs.clear();
   for (const auto& r : reqs_[e.output]) {
     circuit::CrosspointRequest cr;
     cr.input = r.input;
@@ -228,8 +230,8 @@ void DifferentialChecker::check_circuit(const obs::Event& e,
     return;
   }
   circuit_lrg_->set_matrix(ref.lrg_rows());
-  const circuit::ArbitrationTrace trace =
-      circuit_->arbitrate(creqs, *circuit_lrg_);
+  circuit_->arbitrate_into(creqs, *circuit_lrg_, *ctrace_);
+  const circuit::ArbitrationTrace& trace = *ctrace_;
   if (trace.winner != e.input) {
     std::ostringstream os;
     os << "bit-level circuit elected ";

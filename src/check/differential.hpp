@@ -115,9 +115,13 @@ class DifferentialChecker {
   // Packet conservation, per flow.
   std::vector<std::uint64_t> created_, buffered_, delivered_;
 
-  // Circuit leg (constructed only when enabled).
+  // Circuit leg (constructed only when enabled). The request vector and
+  // arbitration trace are reused across every grant check so the per-grant
+  // circuit leg stays allocation-free at steady state.
   std::optional<circuit::CircuitArbiter> circuit_;
   std::optional<arb::LrgArbiter> circuit_lrg_;
+  std::vector<circuit::CrosspointRequest> creqs_;
+  std::optional<circuit::ArbitrationTrace> ctrace_;
 
   std::optional<Divergence> divergence_;
   std::uint64_t grants_checked_ = 0;

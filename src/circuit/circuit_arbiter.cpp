@@ -34,8 +34,17 @@ void CircuitArbiter::clear_stuck() {
 ArbitrationTrace CircuitArbiter::arbitrate(
     std::span<const CrosspointRequest> requests,
     const arb::LrgArbiter& lrg) const {
+  ArbitrationTrace trace(layout_.bus_width);
+  arbitrate_into(requests, lrg, trace);
+  return trace;
+}
+
+void CircuitArbiter::arbitrate_into(
+    std::span<const CrosspointRequest> requests, const arb::LrgArbiter& lrg,
+    ArbitrationTrace& trace) const {
   SSQ_EXPECT(!requests.empty());
   SSQ_EXPECT(lrg.radix() == layout_.radix);
+  SSQ_EXPECT(trace.bitlines.width() == layout_.bus_width);
   std::uint64_t seen = 0;
   for (const auto& r : requests) {
     SSQ_EXPECT(r.input < layout_.radix);
@@ -45,7 +54,10 @@ ArbitrationTrace CircuitArbiter::arbitrate(
     if (r.kind == RequestKind::Gb) SSQ_EXPECT(r.level < layout_.gb_lanes);
   }
 
-  ArbitrationTrace trace(layout_.bus_width);
+  trace.winner = kNoPort;
+  trace.bitlines.clear_all();
+  trace.sensed_wire.clear();
+  trace.sensed_charged.clear();
 
   // Phase 1+2 — precharge then wired-OR discharge. `bitlines` records
   // discharges; a clear bit is a still-charged wire. A stuck-at-0 wire
@@ -53,8 +65,7 @@ ArbitrationTrace CircuitArbiter::arbitrate(
   if (any_stuck_) trace.bitlines |= stuck_low_;
   for (const auto& r : requests) {
     core::ThermometerCode code(layout_.gb_lanes, r.level);
-    trace.bitlines |=
-        discharge_vector(layout_, r.kind, code, lrg.row(r.input));
+    discharge_into(trace.bitlines, layout_, r.kind, code, lrg.row(r.input));
   }
 
   // Phase 3 — sense. A stuck-at-1 wire reads charged no matter what was
@@ -92,7 +103,6 @@ ArbitrationTrace CircuitArbiter::arbitrate(
     // Every claimant lost to a stuck-at-0 wire: no grant this cycle.
     trace.winner = kNoPort;
   }
-  return trace;
 }
 
 InputId reference_decision(std::span<const CrosspointRequest> requests,

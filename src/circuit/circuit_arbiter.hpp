@@ -40,6 +40,9 @@ struct CrosspointRequest {
 };
 
 /// Outcome of one arbitration, with the wire states exposed for inspection.
+/// Reusable: arbitrate_into() clears and refills one of these in place, so a
+/// caller that keeps the trace across calls pays no per-arbitration heap
+/// allocation once the sensed_* vectors have reached their high-water size.
 struct ArbitrationTrace {
   InputId winner = kNoPort;
   BusBits bitlines;           // post-discharge: set == discharged
@@ -59,6 +62,13 @@ class CircuitArbiter {
   [[nodiscard]] ArbitrationTrace arbitrate(
       std::span<const CrosspointRequest> requests,
       const arb::LrgArbiter& lrg) const;
+
+  /// Same arbitration, writing into a caller-owned trace (which must have
+  /// been constructed with this layout's bus_width). The hot differential
+  /// checker reuses one trace across every grant check.
+  void arbitrate_into(std::span<const CrosspointRequest> requests,
+                      const arb::LrgArbiter& lrg,
+                      ArbitrationTrace& trace) const;
 
   [[nodiscard]] const LaneLayout& layout() const noexcept { return layout_; }
 

@@ -31,8 +31,16 @@ BusBits discharge_vector(const LaneLayout& layout, RequestKind kind,
                          const core::ThermometerCode& code,
                          std::uint64_t lrg_row) {
   layout.validate();
-  SSQ_EXPECT(code.width() == layout.gb_lanes);
   BusBits bus(layout.bus_width);
+  discharge_into(bus, layout, kind, code, lrg_row);
+  return bus;
+}
+
+void discharge_into(BusBits& bus, const LaneLayout& layout, RequestKind kind,
+                    const core::ThermometerCode& code,
+                    std::uint64_t lrg_row) {
+  SSQ_EXPECT(bus.width() == layout.bus_width);
+  SSQ_EXPECT(code.width() == layout.gb_lanes);
   const std::uint64_t all = lane_mask(layout.radix);
 
   switch (kind) {
@@ -71,7 +79,6 @@ BusBits discharge_vector(const LaneLayout& layout, RequestKind kind,
                     layout.radix);
       break;
   }
-  return bus;
 }
 
 std::uint32_t sense_wire(const LaneLayout& layout, RequestKind kind,

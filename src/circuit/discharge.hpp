@@ -56,6 +56,13 @@ struct LaneDecision {
                                        const core::ThermometerCode& code,
                                        std::uint64_t lrg_row);
 
+/// Wired-OR form: ORs the crosspoint's discharge decisions directly into
+/// `bus` (the shared bitlines) without materialising a temporary vector —
+/// the allocation-free path used by CircuitArbiter::arbitrate_into. `bus`
+/// must have width layout.bus_width; `layout` must already be validated.
+void discharge_into(BusBits& bus, const LaneLayout& layout, RequestKind kind,
+                    const core::ThermometerCode& code, std::uint64_t lrg_row);
+
 /// The bitline this crosspoint's sense amp watches, given its request kind
 /// and thermometer level (paper: "The most significant bits of the auxVC
 /// counter … select the wire to be sensed by the sense amp").

@@ -42,6 +42,7 @@ OutputQosArbiter::OutputQosArbiter(std::uint32_t radix,
   for (InputId i = 0; i < radix; ++i) {
     gb_vc_.emplace_back(params_, gb_vtick(params_, alloc_, i));
   }
+  bucket_.reserve(radix);
 }
 
 const AuxVc& OutputQosArbiter::aux_vc(InputId i) const {
@@ -151,8 +152,8 @@ InputId OutputQosArbiter::pick(std::span<const ClassRequest> requests,
   // Stage 1 — GL override (Fig. 3): any *eligible* GL request discharges all
   // GB lanes; GL inputs LRG-arbitrate in the GL lane.
   const bool gl_ok = gl_.eligible(now);
-  std::vector<ClassRequest> bucket;
-  bucket.reserve(requests.size());
+  std::vector<ClassRequest>& bucket = bucket_;  // construction-time capacity
+  bucket.clear();
   if (gl_ok) {
     for (const auto& r : requests)
       if (r.cls == TrafficClass::GuaranteedLatency) bucket.push_back(r);

@@ -143,6 +143,7 @@ class OutputQosArbiter {
   TrafficClass picked_class_ = TrafficClass::BestEffort;
   std::uint64_t quarantined_ = 0;        // out-of-service GB lanes
   std::vector<std::uint32_t> lane_map_;  // level remap; empty = identity
+  std::vector<ClassRequest> bucket_;     // pick() scratch; reserved to radix
   obs::SwitchProbe* probe_ = nullptr;  // null = observability off
   OutputId self_ = kNoPort;
 };

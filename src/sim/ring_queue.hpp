@@ -1,0 +1,125 @@
+// RingQueue — a FIFO over a power-of-two ring buffer that never shrinks.
+//
+// std::deque allocates and frees node blocks as elements flow through it, so
+// a steadily draining packet queue keeps the allocator on the hot path. The
+// simulator's queues (per-flow source queues, per-class input buffers) have
+// a bounded steady-state depth: a ring that grows geometrically and keeps
+// its capacity makes every push/pop allocation-free once the high-water mark
+// has been reached, which is what the zero-allocation step() contract (see
+// docs/PERFORMANCE.md) is built on.
+//
+// Deque-compatible subset: push_back, push_front (preemption restores a
+// victim to the head), pop_front, front/back, size/empty, clear. Elements
+// must be movable; moved-from slots are left in place and overwritten on
+// reuse (no destruction per pop — T is expected to be trivially
+// destructible, like Packet).
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/contracts.hpp"
+
+namespace ssq {
+
+template <typename T>
+class RingQueue {
+  static_assert(std::is_nothrow_move_constructible_v<T>);
+
+ public:
+  RingQueue() = default;
+
+  /// Pre-sizes the ring to hold at least `n` elements without reallocating.
+  explicit RingQueue(std::size_t n) { reserve(n); }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  [[nodiscard]] T& front() {
+    SSQ_EXPECT(size_ > 0);
+    return buf_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    SSQ_EXPECT(size_ > 0);
+    return buf_[head_];
+  }
+  [[nodiscard]] T& back() {
+    SSQ_EXPECT(size_ > 0);
+    return buf_[wrap(head_ + size_ - 1)];
+  }
+  [[nodiscard]] const T& back() const {
+    SSQ_EXPECT(size_ > 0);
+    return buf_[wrap(head_ + size_ - 1)];
+  }
+
+  /// Element `i` counted from the front (0 == front()).
+  [[nodiscard]] const T& at(std::size_t i) const {
+    SSQ_EXPECT(i < size_);
+    return buf_[wrap(head_ + i)];
+  }
+
+  void push_back(T&& v) {
+    grow_if_full();
+    buf_[wrap(head_ + size_)] = std::move(v);
+    ++size_;
+  }
+  void push_back(const T& v) { push_back(T(v)); }
+
+  void push_front(T&& v) {
+    grow_if_full();
+    head_ = wrap(head_ + buf_.size() - 1);
+    buf_[head_] = std::move(v);
+    ++size_;
+  }
+
+  void pop_front() {
+    SSQ_EXPECT(size_ > 0);
+    head_ = wrap(head_ + 1);
+    --size_;
+  }
+
+  /// Drops every element; capacity is retained.
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Grows capacity to at least `n` (rounded up to a power of two).
+  void reserve(std::size_t n) {
+    if (n <= buf_.size()) return;
+    std::size_t cap = buf_.empty() ? kMinCapacity : buf_.size();
+    while (cap < n) cap *= 2;
+    regrow(cap);
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 4;
+
+  [[nodiscard]] std::size_t wrap(std::size_t i) const noexcept {
+    return i & (buf_.size() - 1);  // capacity is always a power of two
+  }
+
+  void grow_if_full() {
+    if (size_ == buf_.size()) {
+      regrow(buf_.empty() ? kMinCapacity : buf_.size() * 2);
+    }
+  }
+
+  void regrow(std::size_t cap) {
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[wrap(head_ + i)]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ssq

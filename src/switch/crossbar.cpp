@@ -5,6 +5,8 @@
 #include "fault/scrubber.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <span>
 #include <utility>
 
 namespace ssq::sw {
@@ -22,6 +24,7 @@ CrossbarSwitch::CrossbarSwitch(const SwitchConfig& config,
   }
 
   const std::uint32_t radix = config_.radix;
+  scratch_ = StepScratch(radix);
   inputs_.reserve(radix);
   for (InputId i = 0; i < radix; ++i) {
     inputs_.emplace_back(i, radix, config_.buffers);
@@ -36,6 +39,11 @@ CrossbarSwitch::CrossbarSwitch(const SwitchConfig& config,
                "PVC preemption requires the PVC baseline arbiter");
   }
 
+  if (config_.mode == ArbitrationMode::SsvcQos) {
+    qos_.reserve(radix);
+  } else {
+    baseline_.reserve(radix);
+  }
   for (OutputId o = 0; o < radix; ++o) {
     auto alloc = workload_.allocation_for(o);
     if (config_.mode == ArbitrationMode::SsvcQos) {
@@ -428,14 +436,24 @@ void CrossbarSwitch::select_requests(
       pending[i] = {h->dst, h->cls, h->length, h->buffered, prio_of(*h)};
       continue;
     }
-    // 2) GB heads, rotating over outputs for per-port fairness.
+    // 2) GB heads, rotating over outputs for per-port fairness. The port's
+    // non-empty bitmask narrows the rotating scan to occupied crosspoint
+    // queues (same visit order as scanning every output from gb_pointer()).
     bool chosen = false;
-    for (std::uint32_t off = 0; off < config_.radix && !chosen; ++off) {
-      const OutputId o = (port.gb_pointer() + off) % config_.radix;
-      if (const Packet* h = port.gb_head(o);
-          h != nullptr && output_idle(o) && link_ok(o)) {
+    if (const std::uint64_t occ = port.gb_nonempty(); occ != 0) {
+      const auto try_output = [&](OutputId o) {
+        if (chosen || !output_idle(o) || !link_ok(o)) return;
+        const Packet* h = port.gb_head(o);
         pending[i] = {o, h->cls, h->length, h->buffered, prio_of(*h)};
         chosen = true;
+      };
+      const std::uint32_t ptr = port.gb_pointer();
+      const std::uint64_t below = (1ULL << ptr) - 1;  // ptr < radix <= 64
+      for (std::uint64_t w = occ & ~below; w != 0 && !chosen; w &= w - 1) {
+        try_output(static_cast<OutputId>(std::countr_zero(w)));
+      }
+      for (std::uint64_t w = occ & below; w != 0 && !chosen; w &= w - 1) {
+        try_output(static_cast<OutputId>(std::countr_zero(w)));
       }
     }
     if (chosen) continue;
@@ -448,61 +466,84 @@ void CrossbarSwitch::select_requests(
 }
 
 void CrossbarSwitch::arbitrate() {
-  std::vector<PendingRequest> pending;
-  select_requests(pending);
+  StepScratch& s = scratch_;
+  select_requests(s.pending);
   if (obs_ != nullptr) {
-    for (InputId i = 0; i < pending.size(); ++i) {
-      if (pending[i].out != kNoPort) {
-        obs_->request(now_, i, pending[i].out, pending[i].cls);
+    for (InputId i = 0; i < s.pending.size(); ++i) {
+      if (s.pending[i].out != kNoPort) {
+        obs_->request(now_, i, s.pending[i].out, s.pending[i].cls);
       }
     }
   }
 
-  std::vector<core::ClassRequest> qos_reqs;
-  std::vector<arb::Request> base_reqs;
-  for (OutputId o = 0; o < config_.radix; ++o) {
+  // Counting-sort the asserted requests into per-output slices of one flat
+  // array (stable: input order is preserved within each output, exactly as
+  // the old per-output input scan produced it). One O(radix) pass replaces
+  // the O(radix^2) gather, and the scratch arrays make it allocation-free.
+  const std::uint32_t radix = config_.radix;
+  const bool ssvc = config_.mode == ArbitrationMode::SsvcQos;
+  std::fill(s.bucket_begin.begin(), s.bucket_begin.end(), 0u);
+  for (InputId i = 0; i < radix; ++i) {
+    const OutputId o = s.pending[i].out;
+    if (o != kNoPort) ++s.bucket_begin[o + 1];
+  }
+  for (OutputId o = 0; o < radix; ++o) {
+    s.bucket_begin[o + 1] += s.bucket_begin[o];
+  }
+  std::copy(s.bucket_begin.begin(), s.bucket_begin.end() - 1,
+            s.bucket_cursor.begin());
+  const std::uint32_t total = s.bucket_begin[radix];
+  if (ssvc) {
+    s.qos_reqs.resize(total);  // capacity reserved to radix at construction
+  } else {
+    s.base_reqs.resize(total);
+  }
+  for (InputId i = 0; i < radix; ++i) {
+    const PendingRequest& p = s.pending[i];
+    if (p.out == kNoPort) continue;
+    const std::uint32_t slot = s.bucket_cursor[p.out]++;
+    if (ssvc) {
+      s.qos_reqs[slot] = {i, p.cls, p.length};
+    } else {
+      s.base_reqs[slot] = {i, p.length, p.buffered, p.prio};
+    }
+  }
+
+  for (OutputId o = 0; o < radix; ++o) {
     if (!output_idle(o)) continue;
+    const std::uint32_t begin = s.bucket_begin[o];
+    const std::uint32_t count = s.bucket_begin[o + 1] - begin;
 
     InputId winner = kNoPort;
     TrafficClass win_cls = TrafficClass::BestEffort;
-    if (config_.mode == ArbitrationMode::SsvcQos) {
-      qos_reqs.clear();
-      for (InputId i = 0; i < config_.radix; ++i) {
-        if (pending[i].out == o) {
-          qos_reqs.push_back({i, pending[i].cls, pending[i].length});
-        }
-      }
-      if (qos_reqs.empty()) continue;
+    if (ssvc) {
+      if (count == 0) continue;
       auto& arbiter = *qos_[o];
       arbiter.advance_to(now_);
-      winner = arbiter.pick(qos_reqs, now_);
+      const std::span<const core::ClassRequest> reqs(&s.qos_reqs[begin],
+                                                     count);
+      winner = arbiter.pick(reqs, now_);
       if (winner == kNoPort) continue;  // stalled GL only
       win_cls = arbiter.picked_class();
-      SSQ_ENSURE(win_cls == pending[winner].cls);
-      arbiter.on_grant(winner, win_cls, pending[winner].length, now_);
+      SSQ_ENSURE(win_cls == s.pending[winner].cls);
+      arbiter.on_grant(winner, win_cls, s.pending[winner].length, now_);
     } else {
-      base_reqs.clear();
-      for (InputId i = 0; i < config_.radix; ++i) {
-        if (pending[i].out == o) {
-          base_reqs.push_back({i, pending[i].length, pending[i].buffered,
-                               pending[i].prio});
-        }
-      }
       auto& arbiter = *baseline_[o];
-      if (base_reqs.empty()) {
+      if (count == 0) {
         arbiter.on_idle(now_);
         continue;
       }
-      winner = arbiter.pick(base_reqs, now_);
+      const std::span<const arb::Request> reqs(&s.base_reqs[begin], count);
+      winner = arbiter.pick(reqs, now_);
       if (winner == kNoPort) {  // TDM: the slot owner is idle — wasted slot
         arbiter.on_idle(now_);
         continue;
       }
-      win_cls = pending[winner].cls;
+      win_cls = s.pending[winner].cls;
       if (auto* pvc = dynamic_cast<arb::PvcArbiter*>(&arbiter)) {
         transmissions_[o].granted_level = pvc->level(winner, now_);
       }
-      arbiter.on_grant(winner, pending[winner].length, now_);
+      arbiter.on_grant(winner, s.pending[winner].length, now_);
     }
 
     commit_grant(winner, o, win_cls);
@@ -547,29 +588,33 @@ void CrossbarSwitch::arbitrate_matched() {
   // then a rotating pointer over outputs — and the pair is committed
   // immediately, so later iterations arbitrate against updated state.
   const std::uint32_t radix = config_.radix;
-  std::vector<bool> in_matched(radix, false);
-  std::vector<bool> out_done(radix, false);
+  StepScratch& s = scratch_;
+  // Matching masks: bit i of in_matched == input i is matched (or may not
+  // request); bit o of out_done == output o is settled. One uint64_t word
+  // each — radix <= 64 — where the old code allocated two vector<bool>.
+  std::uint64_t in_matched = 0;
+  std::uint64_t out_done = 0;
   for (OutputId o = 0; o < radix; ++o) {
-    if (!output_idle(o)) out_done[o] = true;
+    if (!output_idle(o)) out_done |= 1ULL << o;
   }
   for (InputId i = 0; i < radix; ++i) {
-    if (inputs_[i].busy(now_)) in_matched[i] = true;
-    if (fault_ != nullptr && fault_->port_dead(i)) in_matched[i] = true;
+    if (inputs_[i].busy(now_)) in_matched |= 1ULL << i;
+    if (fault_ != nullptr && fault_->port_dead(i)) in_matched |= 1ULL << i;
   }
 
-  std::vector<core::ClassRequest> qos_reqs;
-  std::vector<arb::Request> base_reqs;
+  auto& qos_reqs = s.qos_reqs;
+  auto& base_reqs = s.base_reqs;
   for (std::uint32_t iter = 0; iter < config_.match_iterations; ++iter) {
     // GRANT step: every live output picks a winner among current requesters.
-    std::vector<InputId> grant_to(radix, kNoPort);     // per output
-    std::vector<TrafficClass> grant_cls(radix, TrafficClass::BestEffort);
+    s.grant_to.assign(radix, kNoPort);     // per output
+    s.grant_cls.assign(radix, TrafficClass::BestEffort);
     bool any_grant = false;
     for (OutputId o = 0; o < radix; ++o) {
-      if (out_done[o]) continue;
+      if ((out_done >> o) & 1ULL) continue;
       qos_reqs.clear();
       base_reqs.clear();
       for (InputId i = 0; i < radix; ++i) {
-        if (in_matched[i]) continue;
+        if ((in_matched >> i) & 1ULL) continue;
         if (fault_ != nullptr && !fault_->link_alive(i, o)) continue;
         const Packet* h = candidate_for(i, o);
         if (h == nullptr) continue;
@@ -590,38 +635,38 @@ void CrossbarSwitch::arbitrate_matched() {
         arbiter.advance_to(now_);
         w = arbiter.pick(qos_reqs, now_);
         if (w == kNoPort) {  // stalled GL only
-          out_done[o] = true;
+          out_done |= 1ULL << o;
           continue;
         }
-        grant_cls[o] = arbiter.picked_class();
+        s.grant_cls[o] = arbiter.picked_class();
       } else {
         if (base_reqs.empty()) continue;
         w = baseline_[o]->pick(base_reqs, now_);
         if (w == kNoPort) continue;  // TDM off-slot
         const Packet* h = candidate_for(w, o);
         SSQ_ENSURE(h != nullptr);
-        grant_cls[o] = h->cls;
+        s.grant_cls[o] = h->cls;
       }
-      grant_to[o] = w;
+      s.grant_to[o] = w;
       any_grant = true;
     }
     if (!any_grant) break;
 
     // ACCEPT step: each input takes its best grant.
     for (InputId i = 0; i < radix; ++i) {
-      if (in_matched[i]) continue;
+      if ((in_matched >> i) & 1ULL) continue;
       OutputId best = kNoPort;
       for (std::uint32_t off = 0; off < radix; ++off) {
         const OutputId o = (accept_out_ptr_[i] + off) % radix;
-        if (grant_to[o] != i) continue;
+        if (s.grant_to[o] != i) continue;
         if (best == kNoPort ||
-            higher_priority(grant_cls[o], grant_cls[best])) {
+            higher_priority(s.grant_cls[o], s.grant_cls[best])) {
           best = o;
         }
       }
       if (best == kNoPort) continue;
 
-      const TrafficClass cls = grant_cls[best];
+      const TrafficClass cls = s.grant_cls[best];
       const Packet* h = candidate_for(i, best);
       SSQ_ENSURE(h != nullptr && h->cls == cls);
       const std::uint32_t length = h->length;
@@ -629,16 +674,16 @@ void CrossbarSwitch::arbitrate_matched() {
         qos_[best]->on_grant(i, cls, length, now_);
       } else {
         // Restage the staged baselines (WRR/DWRR) on the accepted pair.
-        std::vector<arb::Request> only = {
-            {i, length, h->buffered,
-             workload_.flow(h->flow).legacy_priority}};
-        const InputId confirm = baseline_[best]->pick(only, now_);
+        s.restage.clear();
+        s.restage.push_back({i, length, h->buffered,
+                             workload_.flow(h->flow).legacy_priority});
+        const InputId confirm = baseline_[best]->pick(s.restage, now_);
         SSQ_ENSURE(confirm == i);
         baseline_[best]->on_grant(i, length, now_);
       }
       commit_grant(i, best, cls);
-      in_matched[i] = true;
-      out_done[best] = true;
+      in_matched |= 1ULL << i;
+      out_done |= 1ULL << best;
       accept_out_ptr_[i] = (best + 1) % radix;
     }
   }

@@ -23,7 +23,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -31,6 +30,7 @@
 #include "arb/arbiter.hpp"
 #include "core/output_arbiter.hpp"
 #include "obs/probe.hpp"
+#include "sim/ring_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/types.hpp"
 #include "stats/latency.hpp"
@@ -38,6 +38,7 @@
 #include "switch/config.hpp"
 #include "switch/input_port.hpp"
 #include "switch/packet.hpp"
+#include "switch/step_scratch.hpp"
 #include "traffic/injector.hpp"
 #include "traffic/workload.hpp"
 
@@ -145,14 +146,6 @@ class CrossbarSwitch {
     std::uint32_t granted_level = 0;  // PVC level at grant time
   };
 
-  struct PendingRequest {
-    OutputId out = kNoPort;
-    TrafficClass cls = TrafficClass::BestEffort;
-    std::uint32_t length = 0;
-    Cycle buffered = 0;
-    std::uint32_t prio = 0;  // legacy 4-level message priority
-  };
-
   void inject();
   void transfer();
   void select_requests(std::vector<PendingRequest>& pending) const;
@@ -183,7 +176,7 @@ class CrossbarSwitch {
 
   // Traffic plumbing, indexed by FlowId.
   std::vector<traffic::Injector> injectors_;
-  std::vector<std::deque<Packet>> source_q_;
+  std::vector<RingQueue<Packet>> source_q_;
   std::vector<std::size_t> max_backlog_;
   std::vector<std::uint64_t> delivered_;
   // Per-input list of its flows + acceptance round-robin pointer.
@@ -196,6 +189,9 @@ class CrossbarSwitch {
   Cycle gsf_frame_start_ = 0;
   // IterativeMatching: per-input rotating accept pointer over outputs.
   std::vector<OutputId> accept_out_ptr_;
+  // Per-cycle scratch arena: sized at construction, reused every step so the
+  // steady-state cycle loop never touches the heap.
+  StepScratch scratch_;
   // (src, dst, cls-bucket) -> FlowId for attributing granted packets.
   // GB flows are crosspoint-exclusive; BE/GL may multiplex per input.
 

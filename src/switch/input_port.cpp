@@ -35,11 +35,14 @@ void InputPort::accept(Packet&& pkt, Cycle now) {
       if (be_occ_ > peak_be_) peak_be_ = be_occ_;
       be_q_.push_back(std::move(pkt));
       break;
-    case TrafficClass::GuaranteedBandwidth:
-      gb_occ_[pkt.dst] += pkt.length;
-      if (gb_occ_[pkt.dst] > peak_gb_) peak_gb_ = gb_occ_[pkt.dst];
-      gb_q_[pkt.dst].push_back(std::move(pkt));
+    case TrafficClass::GuaranteedBandwidth: {
+      const OutputId dst = pkt.dst;
+      gb_occ_[dst] += pkt.length;
+      if (gb_occ_[dst] > peak_gb_) peak_gb_ = gb_occ_[dst];
+      gb_q_[dst].push_back(std::move(pkt));
+      gb_nonempty_ |= 1ULL << dst;
       break;
+    }
     case TrafficClass::GuaranteedLatency:
       gl_occ_ += pkt.length;
       if (gl_occ_ > peak_gl_) peak_gl_ = gl_occ_;
@@ -73,6 +76,7 @@ Packet InputPort::pop_gb(OutputId dst) {
   SSQ_EXPECT(!gb_q_[dst].empty());
   Packet p = std::move(gb_q_[dst].front());
   gb_q_[dst].pop_front();
+  if (gb_q_[dst].empty()) gb_nonempty_ &= ~(1ULL << dst);
   return p;
 }
 
@@ -130,6 +134,7 @@ void InputPort::push_front(Packet&& pkt, std::uint32_t drained_flits) {
                  buffers_.gb_flits_per_output);
       gb_occ_[dst] += drained_flits;
       gb_q_[dst].push_front(std::move(pkt));
+      gb_nonempty_ |= 1ULL << dst;
       break;
     }
     case TrafficClass::GuaranteedLatency:

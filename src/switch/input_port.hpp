@@ -12,10 +12,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "sim/contracts.hpp"
+#include "sim/ring_queue.hpp"
 #include "sim/types.hpp"
 #include "switch/config.hpp"
 #include "switch/packet.hpp"
@@ -91,14 +91,22 @@ class InputPort {
     gb_ptr_ = (granted + 1) % radix_;
   }
 
+  /// Bitmask of outputs whose GB crosspoint queue is non-empty (bit o set ==
+  /// gb_head(o) != nullptr). Lets the request-selection scan visit only
+  /// occupied queues instead of all `radix` of them.
+  [[nodiscard]] std::uint64_t gb_nonempty() const noexcept {
+    return gb_nonempty_;
+  }
+
  private:
   InputId id_;
   std::uint32_t radix_;
   BufferConfig buffers_;
 
-  std::deque<Packet> be_q_;
-  std::vector<std::deque<Packet>> gb_q_;  // per output
-  std::deque<Packet> gl_q_;
+  RingQueue<Packet> be_q_;
+  std::vector<RingQueue<Packet>> gb_q_;  // per output
+  RingQueue<Packet> gl_q_;
+  std::uint64_t gb_nonempty_ = 0;  // bit o == gb_q_[o] non-empty
 
   std::uint32_t be_occ_ = 0;
   std::vector<std::uint32_t> gb_occ_;

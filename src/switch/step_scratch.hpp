@@ -1,0 +1,69 @@
+// StepScratch — the per-cycle scratch arena of CrossbarSwitch::step().
+//
+// Every container the cycle loop needs is owned here, sized once at switch
+// construction, and reused every cycle, so the steady-state step() performs
+// no heap allocation (asserted by tests/hotpath_alloc_test.cpp). Ownership
+// rule: the arena belongs to exactly one CrossbarSwitch and is touched only
+// from inside its step(); nothing escapes the call — spans handed to the
+// arbiters are dead once pick()/on_grant() return.
+//
+// The matching masks are single uint64_t words: the Swizzle Switch tops out
+// at radix 64 (config.validate() enforces it), so one word replaces the
+// std::vector<bool> pair the matcher used to allocate per cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arb/arbiter.hpp"
+#include "core/output_arbiter.hpp"
+#include "sim/contracts.hpp"
+#include "sim/types.hpp"
+
+namespace ssq::sw {
+
+/// The single request an idle input asserts in single-request mode.
+struct PendingRequest {
+  OutputId out = kNoPort;
+  TrafficClass cls = TrafficClass::BestEffort;
+  std::uint32_t length = 0;
+  Cycle buffered = 0;
+  std::uint32_t prio = 0;  // legacy 4-level message priority
+};
+
+struct StepScratch {
+  /// Empty arena; CrossbarSwitch sizes it (once) after config validation.
+  StepScratch() = default;
+
+  explicit StepScratch(std::uint32_t radix) {
+    SSQ_EXPECT(radix >= 1 && radix <= 64);
+    pending.resize(radix);
+    bucket_begin.resize(radix + 1);
+    bucket_cursor.resize(radix);
+    qos_reqs.reserve(radix);
+    base_reqs.reserve(radix);
+    grant_to.reserve(radix);
+    grant_cls.reserve(radix);
+    restage.reserve(1);
+  }
+
+  // ---- single-request mode (arbitrate) ----
+  /// pending[i] = input i's asserted request (out == kNoPort: none).
+  std::vector<PendingRequest> pending;
+  /// Counting-sort slice bounds: output o's requests occupy
+  /// [bucket_begin[o], bucket_begin[o+1]) of the flat request array.
+  std::vector<std::uint32_t> bucket_begin;
+  std::vector<std::uint32_t> bucket_cursor;
+
+  // ---- flat request arrays, grouped by output, input order preserved ----
+  // Also reused as per-output gather buffers by the iterative matcher.
+  std::vector<core::ClassRequest> qos_reqs;
+  std::vector<arb::Request> base_reqs;
+
+  // ---- iterative matching (arbitrate_matched) ----
+  std::vector<InputId> grant_to;         // per output
+  std::vector<TrafficClass> grant_cls;   // per output
+  std::vector<arb::Request> restage;     // 1-slot re-pick buffer
+};
+
+}  // namespace ssq::sw

@@ -6,9 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "check/differential.hpp"
 #include "check/scenario.hpp"
 #include "check/trace.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
 #include "switch/crossbar.hpp"
@@ -107,6 +111,72 @@ TEST(Determinism, GoldenTraceMatchesItselfAndDiffersAcrossSeeds) {
   // Different seed, different injection draws, different trace — guards
   // against the trace accidentally ignoring the seed.
   EXPECT_NE(a, golden_trace(s));
+}
+
+// -- Determinism under parallelism -----------------------------------------
+//
+// The --jobs campaign and the sweep benches promise byte-identical results
+// at any thread count: scenario generation and execution depend only on
+// (index, base_seed), and exec::run_batch stores results by index. These
+// tests replay a 100-scenario campaign and a trace corpus serially and on
+// an 8-thread pool and require identical output.
+
+/// Everything a campaign verdict consists of, per scenario.
+struct Verdict {
+  bool failed = false;
+  std::string kind;
+  Cycle fail_cycle = 0;
+  std::uint64_t grants_checked = 0;
+  std::uint64_t delivered = 0;
+
+  bool operator==(const Verdict&) const = default;
+};
+
+std::vector<Verdict> run_campaign(unsigned threads, std::uint64_t count,
+                                  std::uint64_t base_seed) {
+  exec::ThreadPool pool(threads);
+  return exec::run_batch<Verdict>(pool, count, [&](std::size_t i) {
+    const Scenario s = generate_scenario(i, base_seed);
+    CheckOptions opts;
+    const RunResult r = run_scenario(s, opts);
+    return Verdict{r.failed, r.kind, r.fail_cycle, r.grants_checked,
+                   r.delivered};
+  });
+}
+
+TEST(DeterminismParallel, HundredScenarioCampaignIdenticalAtJobs1And8) {
+  const auto serial = run_campaign(1, 100, 99);
+  const auto parallel = run_campaign(8, 100, 99);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "scenario " << i;
+  }
+  // Every scenario of a healthy build passes; a campaign of 100 all-failing
+  // verdicts comparing equal would be vacuous.
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_FALSE(serial[i].failed) << "scenario " << i << ": "
+                                   << serial[i].kind;
+  }
+}
+
+TEST(DeterminismParallel, GoldenTraceCorpusIdenticalUnderPool) {
+  // Golden traces rendered inside pool workers must equal the serially
+  // rendered ones byte for byte (the property the corpus refresh workflow
+  // relies on when run with --jobs).
+  constexpr std::uint64_t kCount = 8;
+  std::vector<std::string> serial;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    serial.push_back(golden_trace(generate_scenario(i, 2026)));
+  }
+  exec::ThreadPool pool(8);
+  const auto parallel = exec::run_batch<std::string>(
+      pool, kCount,
+      [](std::size_t i) { return golden_trace(generate_scenario(i, 2026)); });
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_FALSE(serial[i].empty());
+    EXPECT_EQ(serial[i], parallel[i]) << "scenario " << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,353 @@
+// ssq_bench — consolidated hot-path performance harness.
+//
+// One binary measures everything the perf-regression gate needs and writes
+// it to BENCH_hotpath.json (same ssq.bench.v1 schema as the bench/
+// binaries):
+//   * steady-state switch throughput (cycles/sec and ns/step) at radix
+//     8/16/32/64 on a hotspot + best-effort workload,
+//   * heap allocations per step at radix 64 (counted by the ssq_alloc_hook
+//     operator-new interposer; the zero-allocation claim, measured),
+//   * fuzz-campaign scenario throughput at 1 thread and at --jobs threads.
+//
+// `--check[=PATH]` re-reads a committed baseline report and fails (exit 1)
+// if any throughput metric regressed by more than --tolerance (default
+// 0.25) or the per-step allocation count grew. `--write-baseline` refreshes
+// the committed file. docs/PERFORMANCE.md describes the workflow.
+//
+// Exit codes: 0 ok, 1 regression vs baseline, 2 bad usage/config.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "check/differential.hpp"
+#include "check/scenario.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/json.hpp"
+#include "sim/alloc_hook.hpp"
+#include "sim/error.hpp"
+#include "switch/crossbar.hpp"
+#include "traffic/workload.hpp"
+
+namespace {
+
+using namespace ssq;
+
+constexpr const char* kHelp = R"(usage: ssq_bench [options]
+
+Measures the hot-path metrics gated in CI and writes BENCH_hotpath.json.
+
+  --cycles=N          measured cycles per radix point (default 50000)
+  --scenarios=N       scenarios per campaign timing point (default 40)
+  --jobs=N            thread count for the parallel campaign point
+                      (default 0 = all hardware threads)
+  --json=PATH         report path (default BENCH_hotpath.json)
+  --check[=PATH]      compare against a baseline report (default: the
+                      report path) and exit 1 on regression
+  --tolerance=F       allowed fractional throughput regression for --check
+                      (default 0.25)
+  --write-baseline    alias for writing the report to the default path
+  --help              print this message and exit
+)";
+
+std::optional<std::string> opt_value(std::string_view arg,
+                                     std::string_view key) {
+  if (arg.substr(0, key.size()) != key) return std::nullopt;
+  if (arg.size() == key.size()) return std::string{};
+  if (arg[key.size()] != '=') return std::nullopt;
+  return std::string(arg.substr(key.size() + 1));
+}
+
+std::uint64_t parse_u64(const std::string& value, std::string_view option) {
+  char* end = nullptr;
+  const std::uint64_t x = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size()) {
+    throw ConfigError("invalid value '" + value + "' for " +
+                      std::string(option) + " (expected an unsigned integer)");
+  }
+  return x;
+}
+
+/// The measurement configuration: the paper's SSVC parameters at the
+/// radix-64 bus budget (4 GB lanes), hotspot reservations on output 0 plus
+/// spread best-effort — the same shape as bench/radix64_scale.
+sw::SwitchConfig bench_config(std::uint32_t radix) {
+  sw::SwitchConfig c;
+  c.radix = radix;
+  c.ssvc.level_bits = 2;
+  c.ssvc.lsb_bits = 8;
+  c.ssvc.vtick_bits = 8;
+  c.ssvc.vtick_shift = 2;
+  c.buffers.be_flits = 16;
+  c.buffers.gb_flits_per_output = 16;
+  c.buffers.gl_flits = 4;
+  c.seed = 0xDAC2014;
+  return c;
+}
+
+/// `stable` keeps every flow's offered load below its service rate so the
+/// (unbounded) source queues reach a fixed capacity — required for the
+/// allocations-per-step measurement; the throughput points deliberately
+/// oversubscribe the hotspot instead to maximise arbitration pressure.
+traffic::Workload bench_workload(std::uint32_t radix, bool stable) {
+  const std::uint32_t gb = radix / 2;
+  traffic::Workload w(radix);
+  for (InputId i = 0; i < gb; ++i) {
+    traffic::FlowSpec f;
+    f.src = i;
+    f.dst = 0;
+    f.cls = TrafficClass::GuaranteedBandwidth;
+    f.reserved_rate = 0.88 / static_cast<double>(gb);
+    f.len_min = f.len_max = 8;
+    f.inject = traffic::InjectKind::Bernoulli;
+    f.inject_rate = stable ? 0.8 * f.reserved_rate / 8.0 : 0.5;
+    w.add_flow(f);
+  }
+  const std::uint32_t gl = radix > 8 ? 4 : 2;
+  for (InputId i = gb; i < gb + gl; ++i) {
+    traffic::FlowSpec f;
+    f.src = i;
+    f.dst = 0;
+    f.cls = TrafficClass::GuaranteedLatency;
+    f.len_min = f.len_max = 2;
+    f.inject = traffic::InjectKind::Bernoulli;
+    f.inject_rate = 0.004;
+    w.add_flow(f);
+  }
+  w.set_gl_reservation(0, 0.06, 2);
+  for (InputId i = gb + gl; i < radix; ++i) {
+    traffic::FlowSpec f;
+    f.src = i;
+    f.dst = 1 + (i % (radix - 1));
+    f.cls = TrafficClass::BestEffort;
+    f.len_min = f.len_max = 8;
+    f.inject = traffic::InjectKind::Bernoulli;
+    f.inject_rate = stable ? 0.02 : 0.3;
+    w.add_flow(f);
+  }
+  return w;
+}
+
+struct StepPoint {
+  std::uint32_t radix = 0;
+  double cycles_per_sec = 0.0;
+  double ns_per_step = 0.0;
+};
+
+StepPoint measure_steps(std::uint32_t radix, Cycle cycles) {
+  sw::CrossbarSwitch sim(bench_config(radix),
+                         bench_workload(radix, /*stable=*/false));
+  sim.warmup(5000);
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run(cycles);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+  StepPoint p;
+  p.radix = radix;
+  p.cycles_per_sec = static_cast<double>(cycles) / wall_s;
+  p.ns_per_step = wall_s * 1e9 / static_cast<double>(cycles);
+  return p;
+}
+
+/// Allocations per steady-state step at the given radix: warm up until the
+/// ring queues have reached capacity, then count operator-new calls over a
+/// measurement window.
+double measure_allocs(std::uint32_t radix, Cycle cycles) {
+  sw::CrossbarSwitch sim(bench_config(radix),
+                         bench_workload(radix, /*stable=*/true));
+  sim.warmup(20000);
+  alloc_hook::reset();
+  sim.run(cycles);
+  return static_cast<double>(alloc_hook::allocations()) /
+         static_cast<double>(cycles);
+}
+
+double measure_campaign(std::uint64_t scenarios, unsigned jobs) {
+  exec::ThreadPool pool(jobs);
+  check::CheckOptions opts;
+  const auto t0 = std::chrono::steady_clock::now();
+  pool.run_indexed(static_cast<std::size_t>(scenarios), [&](std::size_t i) {
+    const check::Scenario s = check::generate_scenario(i, 1);
+    const check::RunResult r = check::run_scenario(s, opts);
+    if (r.failed) throw ConfigError("campaign scenario failed: " + r.kind);
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(scenarios) /
+         std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Minimal extractor for the `"metrics":{"name":value,...}` object of an
+/// ssq.bench.v1 report (our own writer, so the shape is known).
+std::vector<std::pair<std::string, double>> read_metrics(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw ConfigError("cannot open baseline '" + path + "'");
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+  const std::string key = "\"metrics\":{";
+  const std::size_t begin = text.find(key);
+  if (begin == std::string::npos) {
+    throw ConfigError("no metrics object in '" + path + "'");
+  }
+  const std::size_t end = text.find('}', begin);
+  if (end == std::string::npos) {
+    throw ConfigError("malformed metrics object in '" + path + "'");
+  }
+  std::vector<std::pair<std::string, double>> out;
+  std::size_t pos = begin + key.size();
+  while (pos < end) {
+    const std::size_t q0 = text.find('"', pos);
+    if (q0 == std::string::npos || q0 >= end) break;
+    const std::size_t q1 = text.find('"', q0 + 1);
+    if (q1 == std::string::npos || q1 >= end) break;
+    const std::size_t colon = text.find(':', q1);
+    if (colon == std::string::npos || colon >= end) break;
+    out.emplace_back(text.substr(q0 + 1, q1 - q0 - 1),
+                     std::strtod(text.c_str() + colon + 1, nullptr));
+    pos = text.find(',', colon);
+    if (pos == std::string::npos) break;
+    ++pos;
+  }
+  return out;
+}
+
+void write_report(const std::string& path,
+                  const std::vector<std::pair<std::string, double>>& metrics) {
+  std::ofstream os(path);
+  if (!os) throw ConfigError("cannot open '" + path + "' for writing");
+  os << "{\"schema\":\"ssq.bench.v1\",\"bench\":\"hotpath\",\"metrics\":{";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (i) os << ',';
+    os << obs::json_quote(metrics[i].first) << ':'
+       << obs::json_number(metrics[i].second);
+  }
+  os << "},\"tables\":[]}\n";
+  if (!os.flush()) throw ConfigError("write failure on '" + path + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cycle cycles = 50000;
+  std::uint64_t scenarios = 40;
+  unsigned jobs = 0;
+  std::string json_path = "BENCH_hotpath.json";
+  std::optional<std::string> check_path;
+  double tolerance = 0.25;
+  bool write_baseline = false;
+
+  try {
+    for (int a = 1; a < argc; ++a) {
+      const std::string_view arg = argv[a];
+      if (arg == "--help") {
+        std::cout << kHelp;
+        return 0;
+      } else if (auto v = opt_value(arg, "--cycles")) {
+        cycles = parse_u64(*v, "--cycles");
+        if (cycles == 0) throw ConfigError("--cycles must be positive");
+      } else if (auto v2 = opt_value(arg, "--scenarios")) {
+        scenarios = parse_u64(*v2, "--scenarios");
+        if (scenarios == 0) throw ConfigError("--scenarios must be positive");
+      } else if (auto v3 = opt_value(arg, "--jobs")) {
+        jobs = static_cast<unsigned>(parse_u64(*v3, "--jobs"));
+      } else if (auto v4 = opt_value(arg, "--json")) {
+        if (v4->empty()) throw ConfigError("--json needs =PATH");
+        json_path = *v4;
+      } else if (arg == "--check") {
+        check_path = std::string{};
+      } else if (auto v5 = opt_value(arg, "--check")) {
+        check_path = *v5;
+      } else if (auto v6 = opt_value(arg, "--tolerance")) {
+        char* end = nullptr;
+        tolerance = std::strtod(v6->c_str(), &end);
+        if (v6->empty() || end != v6->c_str() + v6->size() ||
+            tolerance < 0.0 || tolerance >= 1.0) {
+          throw ConfigError("--tolerance expects a fraction in [0, 1)");
+        }
+      } else if (arg == "--write-baseline") {
+        write_baseline = true;
+      } else {
+        std::cerr << "unknown option '" << arg << "' (--help for the list)\n";
+        return 2;
+      }
+    }
+    if (jobs == 0) jobs = exec::ThreadPool::hardware_threads();
+
+    // Baseline must be read BEFORE we overwrite the report in place.
+    std::vector<std::pair<std::string, double>> baseline;
+    if (check_path.has_value()) {
+      baseline = read_metrics(check_path->empty() ? json_path : *check_path);
+    }
+
+    std::vector<std::pair<std::string, double>> metrics;
+    for (std::uint32_t radix : {8u, 16u, 32u, 64u}) {
+      const StepPoint p = measure_steps(radix, cycles);
+      std::cout << "radix " << p.radix << ": "
+                << static_cast<long>(p.cycles_per_sec) << " cycles/s ("
+                << p.ns_per_step << " ns/step)\n";
+      metrics.emplace_back("cycles_per_sec_radix" + std::to_string(radix),
+                           p.cycles_per_sec);
+      metrics.emplace_back("ns_per_step_radix" + std::to_string(radix),
+                           p.ns_per_step);
+    }
+    const double allocs = measure_allocs(64, cycles);
+    std::cout << "radix 64 steady-state allocations/step: " << allocs << "\n";
+    metrics.emplace_back("allocs_per_step_radix64", allocs);
+
+    const double sps1 = measure_campaign(scenarios, 1);
+    std::cout << "campaign at 1 thread: " << sps1 << " scenarios/s\n";
+    metrics.emplace_back("campaign_scenarios_per_sec_jobs1", sps1);
+    const double spsN = measure_campaign(scenarios, jobs);
+    std::cout << "campaign at " << jobs << " threads: " << spsN
+              << " scenarios/s\n";
+    metrics.emplace_back("campaign_jobs", static_cast<double>(jobs));
+    metrics.emplace_back("campaign_scenarios_per_sec_jobsN", spsN);
+
+    if (write_baseline || !check_path.has_value()) {
+      write_report(json_path, metrics);
+      std::cout << "report written to " << json_path << "\n";
+    }
+
+    // Regression gate: throughput metrics may not drop by more than
+    // `tolerance` vs the baseline; the allocation count may not grow at
+    // all (it is a correctness-style claim, not a timing).
+    int failures = 0;
+    for (const auto& [name, base] : baseline) {
+      double cur = -1.0;
+      for (const auto& [n2, v2] : metrics) {
+        if (n2 == name) cur = v2;
+      }
+      if (cur < 0.0) continue;  // metric vanished or is campaign_jobs
+      const bool is_throughput = name.find("cycles_per_sec") == 0 ||
+                                 name.find("campaign_scenarios_per_sec") == 0;
+      if (is_throughput && cur < base * (1.0 - tolerance)) {
+        std::cout << "REGRESSION " << name << ": " << cur << " < "
+                  << base * (1.0 - tolerance) << " (baseline " << base
+                  << ", tolerance " << tolerance << ")\n";
+        ++failures;
+      }
+      if (name == "allocs_per_step_radix64" && cur > base + 0.01) {
+        std::cout << "REGRESSION " << name << ": " << cur << " > baseline "
+                  << base << "\n";
+        ++failures;
+      }
+    }
+    if (check_path.has_value()) {
+      if (failures != 0) return 1;
+      std::cout << "baseline check passed (" << baseline.size()
+                << " metrics, tolerance " << tolerance << ")\n";
+    }
+    return 0;
+  } catch (const ConfigError& e) {
+    std::cerr << "ssq_bench: " << e.what() << "\n";
+    return 2;
+  }
+}

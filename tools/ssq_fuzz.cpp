@@ -7,6 +7,7 @@
 // repro with --replay=FILE; docs/TESTING.md walks through the workflow.
 //
 // Exit codes: 0 all scenarios passed, 1 divergence found, 2 bad usage/config.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -14,13 +15,16 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "check/differential.hpp"
 #include "check/scenario.hpp"
 #include "check/shrink.hpp"
 #include "check/trace.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/error.hpp"
 
 namespace {
@@ -38,6 +42,11 @@ Campaign:
   --scenarios=N           scenarios to run (default 200)
   --seed=N                campaign base seed (default 1); equal seeds replay
                           the exact same scenario sequence
+  --jobs=N                run the campaign on N threads (default 1; 0 = all
+                          hardware threads). Scenario RNG streams are
+                          per-index, results are reported in index order and
+                          the first failure is the lowest failing index, so
+                          verdicts and repros are byte-identical at any N
   --time-budget=SECONDS   stop starting new scenarios after this much wall
                           clock (default 0 = no budget)
 
@@ -103,6 +112,7 @@ int main(int argc, char** argv) {
   std::uint64_t scenarios = 200;
   std::uint64_t base_seed = 1;
   std::uint64_t time_budget_s = 0;
+  std::uint64_t jobs = 1;
   check::CheckOptions opts;
   bool do_shrink = true;
   bool quiet = false;
@@ -124,6 +134,10 @@ int main(int argc, char** argv) {
         base_seed = parse_u64(*v2, "--seed");
       } else if (auto v3 = opt_value(arg, "--time-budget")) {
         time_budget_s = parse_u64(*v3, "--time-budget");
+      } else if (auto vj = opt_value(arg, "--jobs")) {
+        jobs = parse_u64(*vj, "--jobs");
+        if (jobs == 0) jobs = exec::ThreadPool::hardware_threads();
+        if (jobs > 512) throw ConfigError("--jobs too large (max 512)");
       } else if (arg == "--no-circuit") {
         opts.circuit = false;
       } else if (arg == "--no-state") {
@@ -198,12 +212,19 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    // Campaign mode.
+    // Campaign mode. Scenarios are processed in index-ordered blocks (one
+    // scenario per block when serial — preserving the serial time-budget
+    // granularity — jobs*4 when parallel). Scenario generation and execution
+    // depend only on (index, base_seed), results are reported in index order
+    // and a failing campaign acts on the LOWEST failing index, so verdicts,
+    // stdout, and repro files are byte-identical at any --jobs value.
     const auto t0 = std::chrono::steady_clock::now();
+    exec::ThreadPool pool(static_cast<unsigned>(jobs));
+    const std::uint64_t block = jobs <= 1 ? 1 : jobs * 4;
     std::uint64_t ran = 0;
     std::uint64_t grants = 0;
     std::uint64_t delivered = 0;
-    for (std::uint64_t i = 0; i < scenarios; ++i) {
+    for (std::uint64_t start = 0; start < scenarios; start += block) {
       if (time_budget_s != 0) {
         const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
                                  std::chrono::steady_clock::now() - t0)
@@ -217,48 +238,69 @@ int main(int argc, char** argv) {
           break;
         }
       }
-      const check::Scenario s = check::generate_scenario(i, base_seed);
-      const check::RunResult r = check::run_scenario(s, opts);
-      ++ran;
-      grants += r.grants_checked;
-      delivered += r.delivered;
-      if (!r.failed) {
-        if (!quiet) {
-          std::cout << "ok " << s.name << " radix=" << s.radix
-                    << " cycles=" << s.cycles << " grants=" << r.grants_checked
-                    << "\n";
+      const std::uint64_t count = std::min(block, scenarios - start);
+      struct Outcome {
+        check::RunResult result;
+        std::string line;  // buffered per-scenario "ok" report
+      };
+      std::vector<Outcome> outcomes = exec::run_batch<Outcome>(
+          pool, static_cast<std::size_t>(count), [&](std::size_t k) {
+            const std::uint64_t i = start + k;
+            const check::Scenario s = check::generate_scenario(i, base_seed);
+            Outcome o;
+            o.result = check::run_scenario(s, opts);
+            if (!o.result.failed && !quiet) {
+              std::ostringstream os;
+              os << "ok " << s.name << " radix=" << s.radix
+                 << " cycles=" << s.cycles
+                 << " grants=" << o.result.grants_checked << "\n";
+              o.line = os.str();
+            }
+            return o;
+          });
+      for (std::uint64_t k = 0; k < count; ++k) {
+        const std::uint64_t i = start + k;
+        const check::RunResult& r = outcomes[k].result;
+        ++ran;
+        grants += r.grants_checked;
+        delivered += r.delivered;
+        if (!r.failed) {
+          if (!quiet) std::cout << outcomes[k].line;
+          continue;
         }
-        continue;
+        // Lowest failing index: regenerate the scenario and shrink serially,
+        // exactly as the serial campaign would have.
+        const check::Scenario s = check::generate_scenario(i, base_seed);
+        report_failure(s, r);
+        check::Scenario repro = s;
+        if (do_shrink) {
+          const check::ShrinkResult sh = check::shrink(s, opts);
+          repro = sh.scenario;
+          std::cout << "shrunk to " << repro.cycles << " cycles, "
+                    << repro.flows.size() << " flows ("
+                    << sh.accepted << "/" << sh.attempts
+                    << " reductions accepted); failure now: "
+                    << sh.failure.kind << " at cycle "
+                    << sh.failure.fail_cycle << "\n";
+        }
+        const std::string path = repro_dir + "/repro-" +
+                                 std::to_string(base_seed) + "-" +
+                                 std::to_string(i) + ".scenario";
+        std::error_code ec;  // best-effort; the open below reports failure
+        std::filesystem::create_directories(repro_dir, ec);
+        std::ofstream out(path);
+        if (out) {
+          check::write_scenario(out, repro);
+          out.flush();
+        }
+        if (!out) {
+          std::cerr << "warning: could not write repro to '" << path << "'\n";
+        } else {
+          std::cout << "repro written to " << path
+                    << " (replay: ssq_fuzz --replay=" << path << ")\n";
+        }
+        return 1;
       }
-      report_failure(s, r);
-      check::Scenario repro = s;
-      if (do_shrink) {
-        const check::ShrinkResult sh = check::shrink(s, opts);
-        repro = sh.scenario;
-        std::cout << "shrunk to " << repro.cycles << " cycles, "
-                  << repro.flows.size() << " flows ("
-                  << sh.accepted << "/" << sh.attempts
-                  << " reductions accepted); failure now: "
-                  << sh.failure.kind << " at cycle " << sh.failure.fail_cycle
-                  << "\n";
-      }
-      const std::string path = repro_dir + "/repro-" +
-                               std::to_string(base_seed) + "-" +
-                               std::to_string(i) + ".scenario";
-      std::error_code ec;  // best-effort; the open below reports failure
-      std::filesystem::create_directories(repro_dir, ec);
-      std::ofstream out(path);
-      if (out) {
-        check::write_scenario(out, repro);
-        out.flush();
-      }
-      if (!out) {
-        std::cerr << "warning: could not write repro to '" << path << "'\n";
-      } else {
-        std::cout << "repro written to " << path
-                  << " (replay: ssq_fuzz --replay=" << path << ")\n";
-      }
-      return 1;
     }
     const auto total_s = std::chrono::duration_cast<std::chrono::milliseconds>(
                              std::chrono::steady_clock::now() - t0)

@@ -3,7 +3,10 @@
 // through a configured switch and prints per-flow results. Run with --help
 // for the full option list; docs/OBSERVABILITY.md describes the trace,
 // metrics and JSON-summary outputs.
+#include <sys/resource.h>
+
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -53,12 +56,17 @@ Arbitration:
 Run control:
   --warmup=N              warmup cycles (default 5000)
   --measure=N             measured cycles (default 100000)
+  --repeat=N              run the simulation N times (default 1); the extra
+                          passes are identical and untraced, and cycles/sec
+                          is aggregated over all measure phases
   --seed=N                RNG seed (default 1)
   --from-creation         measure latency from packet creation
 
 Output:
   --csv                   machine-readable tables on stdout
-  --json=FILE             structured run summary (single JSON object)
+  --json=FILE             structured run summary (single JSON object,
+                          including a "perf" section with cycles/sec and
+                          peak RSS)
 
 Observability (see docs/OBSERVABILITY.md):
   --trace=FILE            event trace; Chrome trace-event JSON, loadable in
@@ -161,10 +169,28 @@ bool ends_with(std::string_view s, std::string_view suffix) {
          s.substr(s.size() - suffix.size()) == suffix;
 }
 
+/// Peak resident set size of this process in bytes (0 if unavailable).
+std::uint64_t peak_rss_bytes() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0 || ru.ru_maxrss < 0) return 0;
+#ifdef __APPLE__
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // already bytes
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB -> bytes
+#endif
+}
+
+struct PerfSummary {
+  std::uint64_t repeat = 1;
+  double cycles_per_sec = 0.0;  // aggregated over every measure phase
+  std::uint64_t rss_bytes = 0;
+};
+
 void write_json_summary(std::ostream& os, const std::string& workload_path,
                         const std::string& mode_name, Cycle warmup,
                         const sw::CrossbarSwitch& sim,
-                        const sw::ExperimentResult& r) {
+                        const sw::ExperimentResult& r,
+                        const PerfSummary& perf) {
   const auto& cfg = sim.config();
   os << "{\"schema\":\"ssq.run.v1\",\"workload\":"
      << obs::json_quote(workload_path) << ",\"mode\":"
@@ -172,7 +198,12 @@ void write_json_summary(std::ostream& os, const std::string& workload_path,
      << ",\"seed\":" << cfg.seed << ",\"warmup_cycles\":" << warmup
      << ",\"measured_cycles\":" << r.measured_cycles
      << ",\"total_accepted_rate\":"
-     << obs::json_number(r.total_accepted_rate) << ",\"flows\":[";
+     << obs::json_number(r.total_accepted_rate)
+     // Same metric names as the BenchReport/ssq_bench reports so perf
+     // tooling can consume run summaries and bench reports uniformly.
+     << ",\"perf\":{\"repeat\":" << perf.repeat << ",\"cycles_per_sec\":"
+     << obs::json_number(perf.cycles_per_sec) << ",\"peak_rss_bytes\":"
+     << perf.rss_bytes << "},\"flows\":[";
   for (std::size_t i = 0; i < r.flows.size(); ++i) {
     const auto& f = r.flows[i];
     if (i) os << ',';
@@ -218,6 +249,7 @@ int run(int argc, char** argv) {
   config.ssvc.vtick_shift = 2;
   Cycle warmup = 5000;
   Cycle measure = 100000;
+  std::uint64_t repeat = 1;
   bool csv = false;
   std::string trace_path;
   std::string trace_format;  // "", "chrome" or "jsonl"
@@ -269,6 +301,9 @@ int run(int argc, char** argv) {
       warmup = parse_uint<Cycle>(*v7, "--warmup");
     } else if (auto v8 = opt_value(arg, "--measure")) {
       measure = parse_uint<Cycle>(*v8, "--measure");
+    } else if (auto vr = opt_value(arg, "--repeat")) {
+      repeat = parse_uint<std::uint64_t>(*vr, "--repeat");
+      if (repeat == 0) throw ssq::ConfigError("--repeat must be >= 1");
     } else if (auto v9 = opt_value(arg, "--seed")) {
       config.seed = parse_uint<std::uint64_t>(*v9, "--seed");
     } else if (auto v10 = opt_value(arg, "--arb-cycles")) {
@@ -372,6 +407,22 @@ int run(int argc, char** argv) {
 
   // Run manually so per-channel usage stays accessible afterwards.
   const auto radix = config.radix;
+
+  // Extra --repeat passes: identical fresh switches, no probes or faults,
+  // timed around the measure phase only. They contribute to cycles/sec
+  // (and perturb nothing else — the reported tables come from the final,
+  // fully instrumented run below).
+  double measure_wall_s = 0.0;
+  for (std::uint64_t rep = 1; rep < repeat; ++rep) {
+    sw::CrossbarSwitch pass(config, workload);
+    pass.warmup(warmup);
+    const auto p0 = std::chrono::steady_clock::now();
+    pass.measure(measure);
+    measure_wall_s +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - p0)
+            .count();
+  }
+
   sw::CrossbarSwitch sim(config, std::move(workload));
 
   // Fault injection and scrubbing attach like the probe: nullable pointers,
@@ -431,12 +482,24 @@ int run(int argc, char** argv) {
   for (FlowId f = 0; f < sim.workload().num_flows(); ++f) {
     created_at_open.push_back(sim.created_packets(f));
   }
+  const auto m0 = std::chrono::steady_clock::now();
   if (sampler) {
     sw::run_sampled(sim, measure, *sampler);
     sim.measure(0);
   } else {
     sim.measure(measure);
   }
+  measure_wall_s +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - m0)
+          .count();
+  PerfSummary perf;
+  perf.repeat = repeat;
+  perf.cycles_per_sec =
+      measure_wall_s > 0.0
+          ? static_cast<double>(measure) * static_cast<double>(repeat) /
+                measure_wall_s
+          : 0.0;
+  perf.rss_bytes = peak_rss_bytes();
   auto r = sw::summarize(sim);
   for (FlowId f = 0; f < sim.workload().num_flows(); ++f) {
     const auto created = sim.created_packets(f) - created_at_open[f];
@@ -488,6 +551,9 @@ int run(int argc, char** argv) {
   if (!csv) {
     std::cout << "total accepted: " << r.total_accepted_rate
               << " flits/cycle over " << r.measured_cycles << " cycles\n";
+    std::cout << "perf: " << static_cast<long>(perf.cycles_per_sec)
+              << " cycles/s over " << repeat << " repeat(s), peak RSS "
+              << perf.rss_bytes / 1024 << " KiB\n";
   }
   if (!csv && (injector || scrubber)) {
     std::cout << "faults:";
@@ -528,7 +594,7 @@ int run(int argc, char** argv) {
   }
   if (!json_path.empty()) {
     auto os = open_or_die(json_path);
-    write_json_summary(os, workload_path, mode_name, warmup, sim, r);
+    write_json_summary(os, workload_path, mode_name, warmup, sim, r, perf);
     check_write(os, json_path);
     if (!csv) std::cout << "summary: " << json_path << "\n";
   }
