@@ -52,7 +52,7 @@ void BM_BaselineArbiter(benchmark::State& state, arb::Kind kind) {
   state.SetItemsProcessed(state.iterations());
 }
 
-void BM_SsvcPickGrant(benchmark::State& state) {
+void BM_SsvcPickGrant(benchmark::State& state, core::ArbKernel kernel) {
   const auto radix = static_cast<std::uint32_t>(state.range(0));
   core::SsvcParams params;
   params.level_bits = 3;
@@ -60,7 +60,8 @@ void BM_SsvcPickGrant(benchmark::State& state) {
   auto alloc = core::OutputAllocation::none(radix);
   for (InputId i = 0; i < radix; ++i) alloc.gb_rate[i] = 0.9 / radix;
   alloc.gb_packet_len = 8;
-  core::OutputQosArbiter arbiter(radix, params, alloc);
+  core::OutputQosArbiter arbiter(radix, params, alloc,
+                                 core::GlPolicing::Stall, 32, kernel);
   std::vector<core::ClassRequest> reqs;
   for (InputId i = 0; i < radix; ++i) {
     reqs.push_back({i, TrafficClass::GuaranteedBandwidth, 8});
@@ -146,7 +147,7 @@ void BM_SwitchStep(benchmark::State& state, ObsMode mode) {
 // best-effort from the remaining inputs. This is the configuration the
 // perf-regression gate tracks (tools/ssq_bench, BENCH_hotpath.json) —
 // items_per_second here is the radix-N "cycles/sec" headline.
-void BM_SwitchStepRadix(benchmark::State& state) {
+void BM_SwitchStepRadix(benchmark::State& state, core::ArbKernel kernel) {
   const auto radix = static_cast<std::uint32_t>(state.range(0));
   const std::uint32_t gb = radix / 2;
   traffic::Workload w(radix);
@@ -165,6 +166,7 @@ void BM_SwitchStepRadix(benchmark::State& state) {
   }
   auto config = bench::paper_switch_config();
   config.radix = radix;
+  config.kernel = kernel;
   config.ssvc.level_bits = 2;
   config.ssvc.lsb_bits = 8;
   sw::CrossbarSwitch sim(config, std::move(w));
@@ -177,6 +179,45 @@ void BM_SwitchStepRadix(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kChunk));
+}
+
+// Sparse periodic workload (the ssq_bench "sparse64" shape: synchronized
+// periodic flows, ~97% globally idle) with idle-cycle fast-forward on/off.
+// items_per_second counts SIMULATED cycles, so the ff variant's speedup is
+// the fast-forward win; the ff_skipped / ff_idle_stepped counters report
+// how many of those cycles were jumped over vs cheaply stepped.
+void BM_SwitchStepSparse(benchmark::State& state, bool fast_forward) {
+  const std::uint32_t radix = 64;
+  traffic::Workload w(radix);
+  for (InputId i = 0; i < radix / 4; ++i) {
+    traffic::FlowSpec f;
+    f.src = i;
+    f.dst = 1 + (i % (radix - 1));
+    f.cls = TrafficClass::BestEffort;
+    f.len_min = f.len_max = 8;
+    f.inject = traffic::InjectKind::Periodic;
+    f.inject_rate = 0.02;  // period = 400 cycles
+    w.add_flow(f);
+  }
+  auto config = bench::paper_switch_config();
+  config.radix = radix;
+  config.fast_forward = fast_forward;
+  config.ssvc.level_bits = 2;
+  config.ssvc.lsb_bits = 8;
+  sw::CrossbarSwitch sim(config, std::move(w));
+  sim.warmup(2000);
+
+  constexpr Cycle kChunk = 1000;
+  for (auto _ : state) {
+    sim.run(kChunk);
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kChunk));
+  state.counters["ff_skipped_cycles"] =
+      static_cast<double>(sim.ff_skipped_cycles());
+  state.counters["ff_idle_stepped_cycles"] =
+      static_cast<double>(sim.ff_idle_stepped_cycles());
 }
 
 // Same stepping workload with the fault subsystem in its three states:
@@ -223,9 +264,19 @@ BENCHMARK_CAPTURE(BM_BaselineArbiter, dwrr, ssq::arb::Kind::Dwrr)
 BENCHMARK_CAPTURE(BM_BaselineArbiter, virtual_clock,
                   ssq::arb::Kind::VirtualClock)
     ->Arg(8)->Arg(64);
-BENCHMARK(BM_SsvcPickGrant)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK_CAPTURE(BM_SsvcPickGrant, bitsliced,
+                  ssq::core::ArbKernel::Bitsliced)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK_CAPTURE(BM_SsvcPickGrant, scalar, ssq::core::ArbKernel::Scalar)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 BENCHMARK(BM_CircuitArbitrate)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
-BENCHMARK(BM_SwitchStepRadix)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK_CAPTURE(BM_SwitchStepRadix, bitsliced,
+                  ssq::core::ArbKernel::Bitsliced)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK_CAPTURE(BM_SwitchStepRadix, scalar, ssq::core::ArbKernel::Scalar)
+    ->Arg(8)->Arg(64);
+BENCHMARK_CAPTURE(BM_SwitchStepSparse, ff_on, true);
+BENCHMARK_CAPTURE(BM_SwitchStepSparse, ff_off, false);
 BENCHMARK_CAPTURE(BM_SwitchStep, obs_off, ObsMode::Off);
 BENCHMARK_CAPTURE(BM_SwitchStep, obs_metrics, ObsMode::Metrics);
 BENCHMARK_CAPTURE(BM_SwitchStep, obs_trace_null_sink, ObsMode::Trace);

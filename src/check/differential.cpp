@@ -91,7 +91,17 @@ bool DifferentialChecker::step() {
 }
 
 bool DifferentialChecker::run(Cycle cycles) {
-  for (Cycle c = 0; c < cycles; ++c) {
+  const Cycle end = sim_.now() + cycles;
+  while (sim_.now() < end) {
+    if (!divergence_.has_value() && sim_.fast_forward_eligible() &&
+        sim_.quiescent()) {
+      // A quiescent eligible stretch emits no events and mutates no state
+      // either model predicts from, so the checker skips it exactly as the
+      // bare switch does — per-cycle checks on it would compare two
+      // untouched states.
+      sim_.fast_forward(end);
+      if (sim_.now() >= end) break;
+    }
     if (!step()) return false;
   }
   return true;

@@ -86,7 +86,11 @@ std::string golden_trace(const Scenario& s) {
   obs::SwitchProbe probe(s.radix);
   probe.set_tracer(&tracer);
   rig.sim->attach_probe(&probe);
-  for (Cycle t = 0; t < s.cycles; ++t) rig.sim->step();
+  // run(), not a manual step loop: scenarios eligible for idle-cycle
+  // fast-forward take it here, so the committed golden corpus asserts the
+  // skipped cycles are byte-invisible. Faulted/GSF scenarios are ineligible
+  // and step plainly.
+  rig.sim->run(s.cycles);
   rig.sim->attach_probe(nullptr);
   tracer.finish();
   return out.str();

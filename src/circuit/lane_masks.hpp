@@ -1,0 +1,55 @@
+// Packed lane-occupancy masks — the word-parallel view of the bitline lanes.
+//
+// A set of GB lanes with up to 64 occupants (one bit per input) is stored as
+// one uint64 per lane: bit i of lane_masks[m] == input i's thermometer code
+// currently encodes level m. Every input sits in exactly one lane, so the
+// masks partition the all-inputs mask. The management transforms below are
+// the mask-space images of the per-counter updates in core::ThermometerCode
+// (shift_down on epoch wrap, halve, reset) applied to every occupant at
+// once — O(lanes) word operations instead of O(radix) counter walks.
+//
+// This header is a dependency-free leaf shared by src/core (the bit-sliced
+// arbitration kernel's incremental mirrors) and src/circuit (bitline-level
+// models); it must not include anything beyond the standard library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ssq::circuit {
+
+/// Mask with one bit set per input, for `radix` inputs (radix in [1, 64]).
+[[nodiscard]] constexpr std::uint64_t all_inputs_mask(
+    std::uint32_t radix) noexcept {
+  return radix >= 64 ? ~0ULL : ((1ULL << radix) - 1);
+}
+
+/// Epoch wrap: every occupant drops one lane (lane 0 floors). Image of
+/// ThermometerCode::shift_down() applied to all inputs.
+constexpr void lane_masks_shift_down(std::span<std::uint64_t> lanes) noexcept {
+  const std::size_t n = lanes.size();
+  if (n <= 1) return;
+  lanes[0] |= lanes[1];
+  for (std::size_t m = 1; m + 1 < n; ++m) lanes[m] = lanes[m + 1];
+  lanes[n - 1] = 0;
+}
+
+/// Halve policy: occupants of lanes 2m and 2m+1 merge into lane m. Image of
+/// ThermometerCode::halve() (level /= 2) applied to all inputs.
+constexpr void lane_masks_halve(std::span<std::uint64_t> lanes) noexcept {
+  const std::size_t n = lanes.size();
+  for (std::size_t m = 0; 2 * m + 1 < n; ++m) {
+    lanes[m] = lanes[2 * m] | lanes[2 * m + 1];
+  }
+  for (std::size_t m = (n + 1) / 2; m < n; ++m) lanes[m] = 0;
+}
+
+/// Reset policy: every occupant returns to lane 0.
+constexpr void lane_masks_reset(std::span<std::uint64_t> lanes,
+                                std::uint64_t all_inputs) noexcept {
+  if (lanes.empty()) return;
+  lanes[0] = all_inputs;
+  for (std::size_t m = 1; m < lanes.size(); ++m) lanes[m] = 0;
+}
+
+}  // namespace ssq::circuit

@@ -46,10 +46,14 @@ struct ClassRequest {
 class OutputQosArbiter {
  public:
   /// `gl_allowance_packets` parameterises the GL policer (see GlTracker).
+  /// `kernel` selects the pick() implementation (ArbKernel); the packed
+  /// lane-mask mirrors are maintained either way so the two kernels can be
+  /// swapped (and cross-checked) at any time.
   OutputQosArbiter(std::uint32_t radix, const SsvcParams& params,
                    OutputAllocation alloc,
                    GlPolicing policing = GlPolicing::Stall,
-                   std::uint32_t gl_allowance_packets = 32);
+                   std::uint32_t gl_allowance_packets = 32,
+                   ArbKernel kernel = ArbKernel::Bitsliced);
 
   /// Advances internal real-time bookkeeping to `now`. Must be called with
   /// non-decreasing `now` before pick()/on_grant() at that cycle; handles
@@ -61,6 +65,15 @@ class OutputQosArbiter {
   /// stalled by the policer). Does not mutate arbitration state.
   [[nodiscard]] InputId pick(std::span<const ClassRequest> requests,
                              Cycle now);
+
+  /// Bit-sliced form of pick(): the three classes arrive as packed request
+  /// masks (bit i == input i requests in that class; an input may appear in
+  /// at most one mask). Semantically identical to pick() over the same
+  /// request set presented in ascending input order. Used directly by the
+  /// crossbar's mask path; pick() delegates here under ArbKernel::Bitsliced.
+  [[nodiscard]] InputId pick_masked(std::uint64_t gl_mask,
+                                    std::uint64_t gb_mask,
+                                    std::uint64_t be_mask, Cycle now);
 
   /// Class the last pick's winner belonged to (after policing, a demoted GL
   /// request reports BestEffort priority but retains its own class — this
@@ -97,6 +110,27 @@ class OutputQosArbiter {
   [[nodiscard]] const GlTracker& gl_tracker() const noexcept { return gl_; }
   /// Epoch-relative real time at the last advance_to().
   [[nodiscard]] std::uint64_t epoch_rt() const noexcept { return rt_; }
+  [[nodiscard]] ArbKernel kernel() const noexcept { return kernel_; }
+
+  // ---- packed lane-mask mirrors (bit-sliced kernel state) ----
+  //
+  // lane_mask(m) mirrors, incrementally, the set of inputs whose *raw*
+  // sensed thermometer level (AuxVc::arb_level(), before the quarantine
+  // remap) is m. Inputs listed in dirty_inputs() may be stale — a fault
+  // touched them, or their corruption makes the incremental transforms
+  // diverge from the stored vector — and are re-read from the counters at
+  // the top of every masked pick. Invariant (checked by the kernel property
+  // tests): after resync_lane_masks(), bit i of lane_mask(m) is set iff
+  // aux_vc(i).arb_level() == m, for every input i.
+  [[nodiscard]] std::uint64_t lane_mask(std::uint32_t lane) const {
+    SSQ_EXPECT(lane < params_.gb_levels());
+    return lane_mask_[lane];
+  }
+  [[nodiscard]] std::uint64_t dirty_inputs() const noexcept { return dirty_; }
+  /// Re-reads every dirty input's lane slot from its counter; corrupted
+  /// inputs stay marked dirty (their stored vector no longer follows the
+  /// incremental transforms until the scrubber repairs it).
+  void resync_lane_masks();
 
   // ---- fault injection / recovery (driven by src/fault) ----
 
@@ -130,6 +164,11 @@ class OutputQosArbiter {
   void on_saturation(Cycle now);
 
   [[nodiscard]] InputId lrg_pick(std::span<const ClassRequest> reqs) const;
+  /// Mask-space LRG resolution: first input (ascending) whose row covers
+  /// every other requester; degrades like lrg_pick under a corrupt matrix.
+  [[nodiscard]] InputId lrg_winner(std::uint64_t mask) const;
+  /// Moves input i's lane-mask bit to its current raw sensed level.
+  void resync_input(InputId i);
 
   std::uint32_t radix_;
   SsvcParams params_;
@@ -143,6 +182,10 @@ class OutputQosArbiter {
   TrafficClass picked_class_ = TrafficClass::BestEffort;
   std::uint64_t quarantined_ = 0;        // out-of-service GB lanes
   std::vector<std::uint32_t> lane_map_;  // level remap; empty = identity
+  ArbKernel kernel_ = ArbKernel::Bitsliced;
+  std::vector<std::uint64_t> lane_mask_;  // per raw lane: occupant inputs
+  std::uint64_t dirty_ = 0;       // inputs whose lane slot may be stale
+  std::uint64_t gb_capable_ = 0;  // inputs with a GB reservation
   std::vector<ClassRequest> bucket_;     // pick() scratch; reserved to radix
   obs::SwitchProbe* probe_ = nullptr;  // null = observability off
   OutputId self_ = kNoPort;

@@ -52,6 +52,27 @@ enum class CounterPolicy : std::uint8_t {
   return "?";
 }
 
+/// Which arbitration-kernel implementation OutputQosArbiter::pick() runs.
+/// Both compute the same function (the differential checker and the golden
+/// corpus assert byte-identical grants and traces); the bit-sliced kernel is
+/// the word-parallel form of the paper's bitline circuit.
+enum class ArbKernel : std::uint8_t {
+  /// Per-request scan: buckets requests per class/lane with explicit loops.
+  Scalar = 0,
+  /// Packed-mask kernel: requester/lane/class state held as uint64 masks
+  /// (one bit per input), winner found by ANDing masks top-priority-first —
+  /// O(lanes + words) per arbitration instead of O(radix) passes.
+  Bitsliced = 1,
+};
+
+[[nodiscard]] constexpr const char* to_string(ArbKernel k) noexcept {
+  switch (k) {
+    case ArbKernel::Scalar: return "scalar";
+    case ArbKernel::Bitsliced: return "bitsliced";
+  }
+  return "?";
+}
+
 struct SsvcParams {
   /// MSBs of auxVC exposed to arbitration; the thermometer code has
   /// 2^level_bits bits, one per GB lane.

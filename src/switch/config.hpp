@@ -79,6 +79,23 @@ struct SwitchConfig {
   core::SsvcParams ssvc{};
   BufferConfig buffers{};
 
+  /// Arbitration-kernel implementation for the SSVC arbiters (scalar request
+  /// scan vs packed-mask bit-sliced kernel). Semantically identical — the
+  /// differential checker and golden corpus assert byte-identical grants and
+  /// traces across both — so this is a performance knob (--kernel=).
+  core::ArbKernel kernel = core::ArbKernel::Bitsliced;
+
+  /// Idle-cycle fast-forward: when no packet exists anywhere in the switch,
+  /// run() skips ahead — jumping the clock to the next injector activity
+  /// when every injector can predict it, or at minimum stepping a
+  /// creation-only fast path — instead of burning full cycles. Exact: an
+  /// eligible idle cycle touches no arbiter, queue, stats or probe state,
+  /// and epoch wraps are already deferred to the next request's
+  /// advance_to(). Auto-disabled (regardless of this flag) for baseline
+  /// mode, GSF regulation, and attached fault injectors/scrubbers, whose
+  /// per-cycle hooks make idle cycles observable.
+  bool fast_forward = true;
+
   ArbitrationMode mode = ArbitrationMode::SsvcQos;
   /// Baseline arbiter kind when mode == Baseline. Rate-parameterised kinds
   /// (WRR/DWRR/WFQ/VirtualClock) receive each output's GB reservations.

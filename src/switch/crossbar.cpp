@@ -49,7 +49,7 @@ CrossbarSwitch::CrossbarSwitch(const SwitchConfig& config,
     if (config_.mode == ArbitrationMode::SsvcQos) {
       qos_.push_back(std::make_unique<core::OutputQosArbiter>(
           radix, config_.ssvc, std::move(alloc), config_.gl_policing,
-          config_.gl_allowance_packets));
+          config_.gl_allowance_packets, config_.kernel));
     } else {
       // Rate-parameterised baselines receive the GB reservations; inputs
       // with no reservation get a nominal unit share.
@@ -201,11 +201,14 @@ void CrossbarSwitch::preempt_scan() {
       for (std::uint32_t k = transferred; k < victim.length; ++k) {
         inputs_[src].drain_flit(victim.cls, victim.dst);
       }
-      source_q_[victim.flow].push_front(std::move(victim));
+      const FlowId vf = victim.flow;
+      source_q_[vf].push_front(std::move(victim));
+      max_backlog_[vf] = std::max(max_backlog_[vf], source_q_[vf].size());
     }
     inputs_[src].set_free_at(now_);
     output_free_at_[o] = now_;
     t.active = false;
+    active_out_ &= ~(1ULL << o);
   }
 }
 
@@ -224,7 +227,7 @@ std::size_t CrossbarSwitch::max_source_backlog(FlowId f) const {
   return max_backlog_[f];
 }
 
-void CrossbarSwitch::inject() {
+void CrossbarSwitch::inject_create() {
   // Packet creation into source queues.
   for (FlowId f = 0; f < injectors_.size(); ++f) {
     auto& inj = injectors_[f];
@@ -244,9 +247,17 @@ void CrossbarSwitch::inject() {
       }
       source_q_[f].push_back(std::move(p));
     }
-    max_backlog_[f] = std::max(max_backlog_[f], source_q_[f].size());
+    if (n != 0) {
+      // The backlog only grows at a push, so sampling after pushes (here and
+      // at the preempt re-queue) sees the same running maximum as sampling
+      // every cycle did.
+      live_packets_ += n;
+      max_backlog_[f] = std::max(max_backlog_[f], source_q_[f].size());
+    }
   }
+}
 
+void CrossbarSwitch::inject_admit() {
   // GSF frame bookkeeping: reset quotas at frame boundaries; injection of
   // regulated flows pauses during the barrier window.
   bool gsf_barrier = false;
@@ -266,8 +277,12 @@ void CrossbarSwitch::inject() {
     if (flows.empty()) continue;
     // A dead input port admits nothing; its traffic backs up at the source.
     if (fault_ != nullptr && fault_->port_dead(i)) continue;
-    for (std::size_t k = 0; k < flows.size(); ++k) {
-      const std::size_t idx = (accept_ptr_[i] + k) % flows.size();
+    const std::size_t nf = flows.size();
+    for (std::size_t k = 0; k < nf; ++k) {
+      // accept_ptr_ < nf and k < nf, so one conditional subtract replaces
+      // the modulo (an integer division per input per cycle on the hot path).
+      std::size_t idx = accept_ptr_[i] + k;
+      if (idx >= nf) idx -= nf;
       const FlowId f = flows[idx];
       if (source_q_[f].empty()) continue;
       if (gsf_quota_[f] > 0 &&
@@ -290,16 +305,17 @@ void CrossbarSwitch::inject() {
       inputs_[i].accept(std::move(source_q_[f].front()), now_);
       source_q_[f].pop_front();
       if (gsf_quota_[f] > 0) ++gsf_used_[f];
-      accept_ptr_[i] = (idx + 1) % flows.size();
+      accept_ptr_[i] = idx + 1 == nf ? 0 : idx + 1;
       break;
     }
   }
 }
 
 void CrossbarSwitch::transfer() {
-  for (OutputId o = 0; o < transmissions_.size(); ++o) {
+  for (std::uint64_t w = active_out_; w != 0; w &= w - 1) {
+    const auto o = static_cast<OutputId>(std::countr_zero(w));
     auto& t = transmissions_[o];
-    if (!t.active || now_ < t.first_flit) continue;
+    if (now_ < t.first_flit) continue;
     SSQ_ENSURE(now_ <= t.last_flit);
     throughput_.record_flit(t.pkt.flow, now_);
     inputs_[t.pkt.src].drain_flit(t.pkt.cls, t.pkt.dst);
@@ -316,6 +332,8 @@ void CrossbarSwitch::complete(Transmission& t, OutputId o) {
     wait_.record(t.pkt.flow, static_cast<double>(t.pkt.granted - t.pkt.buffered));
   }
   ++delivered_[t.pkt.flow];
+  SSQ_ENSURE(live_packets_ >= 1);
+  --live_packets_;
   if (obs_ != nullptr) {
     const Cycle from =
         config_.latency_from_creation ? t.pkt.created : t.pkt.buffered;
@@ -326,6 +344,7 @@ void CrossbarSwitch::complete(Transmission& t, OutputId o) {
   const InputId src = t.pkt.src;
   const TrafficClass cls = t.pkt.cls;
   t.active = false;
+  active_out_ &= ~(1ULL << o);
 
   // Packet Chaining: the next packet of the same (input, queue, output) may
   // seize the channel without a fresh arbitration cycle; the arbiter state
@@ -414,6 +433,7 @@ void CrossbarSwitch::start_transmission(Packet&& pkt, OutputId o,
   t.first_flit = first_flit;
   t.last_flit = last;
   t.active = true;
+  active_out_ |= 1ULL << o;
 }
 
 void CrossbarSwitch::select_requests(
@@ -476,12 +496,17 @@ void CrossbarSwitch::arbitrate() {
     }
   }
 
+  const std::uint32_t radix = config_.radix;
+  const bool ssvc = config_.mode == ArbitrationMode::SsvcQos;
+  if (ssvc && config_.kernel == core::ArbKernel::Bitsliced) {
+    arbitrate_masked();
+    return;
+  }
+
   // Counting-sort the asserted requests into per-output slices of one flat
   // array (stable: input order is preserved within each output, exactly as
   // the old per-output input scan produced it). One O(radix) pass replaces
   // the O(radix^2) gather, and the scratch arrays make it allocation-free.
-  const std::uint32_t radix = config_.radix;
-  const bool ssvc = config_.mode == ArbitrationMode::SsvcQos;
   std::fill(s.bucket_begin.begin(), s.bucket_begin.end(), 0u);
   for (InputId i = 0; i < radix; ++i) {
     const OutputId o = s.pending[i].out;
@@ -546,6 +571,48 @@ void CrossbarSwitch::arbitrate() {
       arbiter.on_grant(winner, s.pending[winner].length, now_);
     }
 
+    commit_grant(winner, o, win_cls);
+  }
+}
+
+void CrossbarSwitch::arbitrate_masked() {
+  // Bit-sliced single-request allocation: one O(radix) pass packs every
+  // asserted request into per-output class masks, and each live output
+  // resolves in O(lanes + words) word operations. Request order inside an
+  // output is ascending input order by construction (bit order), exactly
+  // what the counting sort produced for the scalar kernel.
+  StepScratch& s = scratch_;
+  const std::uint32_t radix = config_.radix;
+  std::fill(s.gl_mask.begin(), s.gl_mask.end(), 0ULL);
+  std::fill(s.gb_mask.begin(), s.gb_mask.end(), 0ULL);
+  std::fill(s.be_mask.begin(), s.be_mask.end(), 0ULL);
+  std::uint64_t requested = 0;  // outputs with >= 1 asserted request
+  for (InputId i = 0; i < radix; ++i) {
+    const PendingRequest& p = s.pending[i];
+    if (p.out == kNoPort) continue;
+    const std::uint64_t bit = 1ULL << i;
+    requested |= 1ULL << p.out;
+    switch (p.cls) {
+      case TrafficClass::GuaranteedLatency: s.gl_mask[p.out] |= bit; break;
+      case TrafficClass::GuaranteedBandwidth: s.gb_mask[p.out] |= bit; break;
+      case TrafficClass::BestEffort: s.be_mask[p.out] |= bit; break;
+    }
+  }
+  // Only requested outputs can grant; an un-requested output's advance_to()
+  // stays lazy exactly as in the scalar kernel. Bit order == ascending o.
+  for (std::uint64_t w = requested; w != 0; w &= w - 1) {
+    const auto o = static_cast<OutputId>(std::countr_zero(w));
+    if (!output_idle(o)) continue;
+    const std::uint64_t gl = s.gl_mask[o];
+    const std::uint64_t gb = s.gb_mask[o];
+    const std::uint64_t be = s.be_mask[o];
+    auto& arbiter = *qos_[o];
+    arbiter.advance_to(now_);
+    const InputId winner = arbiter.pick_masked(gl, gb, be, now_);
+    if (winner == kNoPort) continue;  // stalled GL only
+    const TrafficClass win_cls = arbiter.picked_class();
+    SSQ_ENSURE(win_cls == s.pending[winner].cls);
+    arbiter.on_grant(winner, win_cls, s.pending[winner].length, now_);
     commit_grant(winner, o, win_cls);
   }
 }
@@ -692,7 +759,12 @@ void CrossbarSwitch::arbitrate_matched() {
 void CrossbarSwitch::step() {
   if (fault_ != nullptr) fault_->on_cycle(now_);
   if (scrub_ != nullptr) scrub_->on_cycle(now_);
-  inject();
+  if (create_pending_) {
+    create_pending_ = false;  // fast_forward() already created at now_
+  } else {
+    inject_create();
+  }
+  inject_admit();
   transfer();
   if (config_.pvc.preemption) preempt_scan();
   if (config_.allocation == AllocationMode::IterativeMatching) {
@@ -703,8 +775,62 @@ void CrossbarSwitch::step() {
   ++now_;
 }
 
+bool CrossbarSwitch::fast_forward_eligible() const noexcept {
+  // Baseline arbiters tick on_idle() every cycle; GSF rolls frame state;
+  // fault injectors and scrubbers hook every cycle — all make idle cycles
+  // observable, so only the plain SSVC configuration may skip them.
+  return config_.fast_forward && config_.mode == ArbitrationMode::SsvcQos &&
+         !config_.gsf.enabled && fault_ == nullptr && scrub_ == nullptr;
+}
+
+void CrossbarSwitch::fast_forward(Cycle end) {
+  SSQ_EXPECT(fast_forward_eligible());
+  while (now_ < end && quiescent()) {
+    // Next cycle any injector may act. Bernoulli/OnOff sources roll their
+    // RNG every cycle past start and report `now_`; deterministic kinds
+    // (Periodic/BurstOnce/Trace) report their exact next event.
+    Cycle min_next = kNoCycle;
+    for (const auto& inj : injectors_) {
+      const Cycle c = inj.next_active_cycle(now_);
+      if (c < min_next) min_next = c;
+    }
+    if (min_next > now_) {
+      // Every injector is provably inactive until min_next: nothing in an
+      // eligible idle cycle touches any other state, so the clock jumps.
+      const Cycle jump = min_next < end ? min_next : end;
+      ff_skipped_cycles_ += jump - now_;
+      now_ = jump;
+      continue;
+    }
+    // Some injector must roll its RNG (or fire) at now_: run creation only.
+    inject_create();
+    if (live_packets_ != 0) {
+      // Created at now_ — the next step() admits and arbitrates this same
+      // cycle, skipping its own (already run) creation pass.
+      create_pending_ = true;
+      return;
+    }
+    // Nothing created: admission, transfer and arbitration are all no-ops
+    // (no packets exist, SSVC outputs with zero requests touch nothing),
+    // so the cycle is complete.
+    ++ff_idle_stepped_cycles_;
+    ++now_;
+  }
+}
+
 void CrossbarSwitch::run(Cycle cycles) {
-  for (Cycle c = 0; c < cycles; ++c) step();
+  const Cycle end = now_ + cycles;
+  if (fast_forward_eligible()) {
+    while (now_ < end) {
+      if (quiescent()) {
+        fast_forward(end);
+        if (now_ >= end) break;
+      }
+      step();
+    }
+    return;
+  }
+  while (now_ < end) step();
 }
 
 void CrossbarSwitch::warmup(Cycle cycles) {

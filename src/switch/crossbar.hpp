@@ -56,8 +56,42 @@ class CrossbarSwitch {
   /// Advances one cycle.
   void step();
 
-  /// Advances `cycles` cycles.
+  /// Advances `cycles` cycles. When fast_forward_eligible() and the switch
+  /// is quiescent, idle stretches are skipped (exactly — see
+  /// SwitchConfig::fast_forward) instead of stepped.
   void run(Cycle cycles);
+
+  /// True when config/attachment state permits idle-cycle fast-forward:
+  /// SSVC mode, no GSF regulation, no fault injector or scrubber attached,
+  /// and config.fast_forward set. Under these conditions a quiescent cycle
+  /// touches nothing but the injector RNG streams, which the fast path
+  /// drives identically.
+  [[nodiscard]] bool fast_forward_eligible() const noexcept;
+
+  /// True when no packet exists anywhere (source queues, input buffers, or
+  /// in flight) and no freshly-created packet awaits admission.
+  [[nodiscard]] bool quiescent() const noexcept {
+    return live_packets_ == 0 && !create_pending_;
+  }
+
+  /// Fast-forwards from now() toward `end` (absolute cycle) while the
+  /// switch stays quiescent. Requires fast_forward_eligible(). Jumps the
+  /// clock over stretches where every injector reports no activity
+  /// (Injector::next_active_cycle); cycles where an injector must roll its
+  /// RNG are run through the creation-only fast path. Returns with either
+  /// now() == end, or packets created and pending admission (the next
+  /// step() picks them up within the same cycle).
+  void fast_forward(Cycle end);
+
+  /// Cycles skipped outright by fast-forward (clock jumps, no per-cycle
+  /// work at all) since construction.
+  [[nodiscard]] std::uint64_t ff_skipped_cycles() const noexcept {
+    return ff_skipped_cycles_;
+  }
+  /// Cycles handled by the creation-only idle fast path since construction.
+  [[nodiscard]] std::uint64_t ff_idle_stepped_cycles() const noexcept {
+    return ff_idle_stepped_cycles_;
+  }
 
   /// run() then reset stats and open the measurement window — call once
   /// after the warmup phase.
@@ -146,10 +180,16 @@ class CrossbarSwitch {
     std::uint32_t granted_level = 0;  // PVC level at grant time
   };
 
-  void inject();
+  /// Packet creation into source queues (injector RNG rolls live here).
+  void inject_create();
+  /// GSF bookkeeping + per-input admission of created packets into buffers.
+  void inject_admit();
   void transfer();
   void select_requests(std::vector<PendingRequest>& pending) const;
   void arbitrate();
+  /// SSVC + bit-sliced kernel: per-output packed request masks straight to
+  /// pick_masked(), skipping the counting sort.
+  void arbitrate_masked();
   void arbitrate_matched();
   void preempt_scan();
   /// Pops the winner's packet, charges usage, seizes the channel.
@@ -166,9 +206,22 @@ class CrossbarSwitch {
   Cycle now_ = 0;
   PacketId next_packet_id_ = 0;
 
+  // ---- idle-cycle fast-forward state ----
+  // Packets alive anywhere in the switch (created, not yet delivered; a
+  // preempted packet stays alive). 0 <=> every queue and channel is empty.
+  std::uint64_t live_packets_ = 0;
+  // inject_create() already ran for the current cycle (set by
+  // fast_forward() when creation fires); step() must not run it again.
+  bool create_pending_ = false;
+  std::uint64_t ff_skipped_cycles_ = 0;
+  std::uint64_t ff_idle_stepped_cycles_ = 0;
+
   std::vector<InputPort> inputs_;
   std::vector<Cycle> output_free_at_;
   std::vector<Transmission> transmissions_;  // per output
+  // Bit o set <=> transmissions_[o].active; lets transfer() visit only live
+  // channels instead of scanning all `radix` transmissions every cycle.
+  std::uint64_t active_out_ = 0;
 
   // QoS or baseline arbitration state, one per output.
   std::vector<std::unique_ptr<core::OutputQosArbiter>> qos_;

@@ -12,19 +12,6 @@ InputPort::InputPort(InputId id, std::uint32_t radix,
   gb_occ_.assign(radix, 0);
 }
 
-bool InputPort::can_accept(const Packet& pkt) const {
-  switch (pkt.cls) {
-    case TrafficClass::BestEffort:
-      return be_occ_ + pkt.length <= buffers_.be_flits;
-    case TrafficClass::GuaranteedBandwidth:
-      SSQ_EXPECT(pkt.dst < radix_);
-      return gb_occ_[pkt.dst] + pkt.length <= buffers_.gb_flits_per_output;
-    case TrafficClass::GuaranteedLatency:
-      return gl_occ_ + pkt.length <= buffers_.gl_flits;
-  }
-  return false;
-}
-
 void InputPort::accept(Packet&& pkt, Cycle now) {
   SSQ_EXPECT(pkt.src == id_);
   SSQ_EXPECT(can_accept(pkt));
@@ -51,19 +38,6 @@ void InputPort::accept(Packet&& pkt, Cycle now) {
   }
 }
 
-const Packet* InputPort::be_head() const {
-  return be_q_.empty() ? nullptr : &be_q_.front();
-}
-
-const Packet* InputPort::gb_head(OutputId dst) const {
-  SSQ_EXPECT(dst < radix_);
-  return gb_q_[dst].empty() ? nullptr : &gb_q_[dst].front();
-}
-
-const Packet* InputPort::gl_head() const {
-  return gl_q_.empty() ? nullptr : &gl_q_.front();
-}
-
 Packet InputPort::pop_be() {
   SSQ_EXPECT(!be_q_.empty());
   Packet p = std::move(be_q_.front());
@@ -85,24 +59,6 @@ Packet InputPort::pop_gl() {
   Packet p = std::move(gl_q_.front());
   gl_q_.pop_front();
   return p;
-}
-
-void InputPort::drain_flit(TrafficClass cls, OutputId dst) {
-  switch (cls) {
-    case TrafficClass::BestEffort:
-      SSQ_EXPECT(be_occ_ >= 1);
-      --be_occ_;
-      break;
-    case TrafficClass::GuaranteedBandwidth:
-      SSQ_EXPECT(dst < radix_);
-      SSQ_EXPECT(gb_occ_[dst] >= 1);
-      --gb_occ_[dst];
-      break;
-    case TrafficClass::GuaranteedLatency:
-      SSQ_EXPECT(gl_occ_ >= 1);
-      --gl_occ_;
-      break;
-  }
 }
 
 bool InputPort::can_restore(TrafficClass cls, OutputId dst,

@@ -29,15 +29,35 @@ class InputPort {
   [[nodiscard]] InputId id() const noexcept { return id_; }
 
   /// True iff the packet's class buffer has `length` free flits.
-  [[nodiscard]] bool can_accept(const Packet& pkt) const;
+  /// (Inline: called for every admission attempt of every cycle.)
+  [[nodiscard]] bool can_accept(const Packet& pkt) const {
+    switch (pkt.cls) {
+      case TrafficClass::BestEffort:
+        return be_occ_ + pkt.length <= buffers_.be_flits;
+      case TrafficClass::GuaranteedBandwidth:
+        SSQ_EXPECT(pkt.dst < radix_);
+        return gb_occ_[pkt.dst] + pkt.length <= buffers_.gb_flits_per_output;
+      case TrafficClass::GuaranteedLatency:
+        return gl_occ_ + pkt.length <= buffers_.gl_flits;
+    }
+    return false;
+  }
 
   /// Moves a packet into its class buffer; stamps `buffered = now`.
   void accept(Packet&& pkt, Cycle now);
 
-  // Head-of-line visibility (nullptr when empty).
-  [[nodiscard]] const Packet* be_head() const;
-  [[nodiscard]] const Packet* gb_head(OutputId dst) const;
-  [[nodiscard]] const Packet* gl_head() const;
+  // Head-of-line visibility (nullptr when empty). Inline: the request
+  // selection scan consults heads for every non-busy input every cycle.
+  [[nodiscard]] const Packet* be_head() const {
+    return be_q_.empty() ? nullptr : &be_q_.front();
+  }
+  [[nodiscard]] const Packet* gb_head(OutputId dst) const {
+    SSQ_EXPECT(dst < radix_);
+    return gb_q_[dst].empty() ? nullptr : &gb_q_[dst].front();
+  }
+  [[nodiscard]] const Packet* gl_head() const {
+    return gl_q_.empty() ? nullptr : &gl_q_.front();
+  }
 
   /// Pops the head of the given queue. The packet's flits remain accounted
   /// in the buffer until drained via drain_flit.
@@ -47,7 +67,23 @@ class InputPort {
 
   /// Releases one flit of buffer space (called once per transfer cycle of a
   /// packet popped from the corresponding queue).
-  void drain_flit(TrafficClass cls, OutputId dst);
+  void drain_flit(TrafficClass cls, OutputId dst) {
+    switch (cls) {
+      case TrafficClass::BestEffort:
+        SSQ_EXPECT(be_occ_ >= 1);
+        --be_occ_;
+        break;
+      case TrafficClass::GuaranteedBandwidth:
+        SSQ_EXPECT(dst < radix_);
+        SSQ_EXPECT(gb_occ_[dst] >= 1);
+        --gb_occ_[dst];
+        break;
+      case TrafficClass::GuaranteedLatency:
+        SSQ_EXPECT(gl_occ_ >= 1);
+        --gl_occ_;
+        break;
+    }
+  }
 
   /// True iff `flits` more flits fit in the class buffer (PVC preemption:
   /// can the victim's drained flits be re-accounted in place?).

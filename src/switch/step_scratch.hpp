@@ -45,6 +45,9 @@ struct StepScratch {
     grant_to.reserve(radix);
     grant_cls.reserve(radix);
     restage.reserve(1);
+    gl_mask.resize(radix);
+    gb_mask.resize(radix);
+    be_mask.resize(radix);
   }
 
   // ---- single-request mode (arbitrate) ----
@@ -64,6 +67,14 @@ struct StepScratch {
   std::vector<InputId> grant_to;         // per output
   std::vector<TrafficClass> grant_cls;   // per output
   std::vector<arb::Request> restage;     // 1-slot re-pick buffer
+
+  // ---- bit-sliced single-request mode ----
+  // Per-output packed request masks (bit i == input i requests output o in
+  // that class), fed straight to OutputQosArbiter::pick_masked() — the
+  // counting sort and the flat ClassRequest array are skipped entirely.
+  std::vector<std::uint64_t> gl_mask;  // per output
+  std::vector<std::uint64_t> gb_mask;  // per output
+  std::vector<std::uint64_t> be_mask;  // per output
 };
 
 }  // namespace ssq::sw

@@ -40,51 +40,23 @@ Injector::Injector(const FlowSpec& spec, Rng rng)
   }
 }
 
-std::uint32_t Injector::packets_at(Cycle now) {
-  if (now < spec_.start_cycle && spec_.inject != InjectKind::BurstOnce &&
-      spec_.inject != InjectKind::Trace) {
-    return 0;
-  }
-  std::uint32_t n = 0;
+Cycle Injector::next_active_cycle(Cycle now) const {
   switch (spec_.inject) {
     case InjectKind::Bernoulli:
-      n = rng_.bernoulli(p_inject_) ? 1 : 0;
-      break;
     case InjectKind::OnOff:
-      if (on_) {
-        n = rng_.bernoulli(p_inject_) ? 1 : 0;
-        if (rng_.bernoulli(p_leave_on_)) on_ = false;
-      } else {
-        if (rng_.bernoulli(p_leave_off_)) on_ = true;
-      }
-      break;
+      // Consumes RNG every cycle from start_cycle on; only the pre-start
+      // stretch is skippable (packets_at returns 0 there without drawing).
+      return now < spec_.start_cycle ? spec_.start_cycle : now;
     case InjectKind::Periodic:
-      if (now >= next_fire_) {
-        n = 1;
-        next_fire_ = now + period_;
-      }
-      break;
+      return next_fire_ > now ? next_fire_ : now;
     case InjectKind::BurstOnce:
-      if (!burst_done_ && now >= spec_.burst_start) {
-        n = spec_.burst_packets;
-        burst_done_ = true;
-      }
-      break;
+      if (burst_done_) return kNoCycle;
+      return spec_.burst_start > now ? spec_.burst_start : now;
     case InjectKind::Trace:
-      while (trace_pos_ < spec_.trace.size() && spec_.trace[trace_pos_] <= now) {
-        ++n;
-        ++trace_pos_;
-      }
-      break;
+      if (trace_pos_ >= spec_.trace.size()) return kNoCycle;
+      return spec_.trace[trace_pos_] > now ? spec_.trace[trace_pos_] : now;
   }
-  created_ += n;
-  return n;
-}
-
-std::uint32_t Injector::draw_length() {
-  if (spec_.len_min == spec_.len_max) return spec_.len_min;
-  return static_cast<std::uint32_t>(
-      rng_.between(spec_.len_min, spec_.len_max));
+  return now;
 }
 
 }  // namespace ssq::traffic

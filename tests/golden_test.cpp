@@ -97,6 +97,28 @@ TEST(Golden, TracesReplayByteExactly) {
   }
 }
 
+TEST(Golden, TracesInvariantAcrossKernelAndFastForward) {
+  // The committed traces are the ground truth for BOTH arbitration kernels
+  // and for idle-cycle fast-forward on/off: a kernel or fast-forward bug
+  // that shifts a single grant or event timestamp shows up as a corpus diff.
+  for (const auto& file : corpus()) {
+    Scenario s = load_scenario(file.string());
+    fs::path trace_file = file;
+    trace_file.replace_extension(".trace");
+    const std::string expected = slurp(trace_file);
+    for (const auto kernel :
+         {core::ArbKernel::Scalar, core::ArbKernel::Bitsliced}) {
+      for (const bool ff : {false, true}) {
+        s.kernel = kernel;
+        s.fast_forward = ff;
+        EXPECT_EQ(golden_trace(s), expected)
+            << s.name << " kernel=" << core::to_string(kernel)
+            << " fast_forward=" << ff;
+      }
+    }
+  }
+}
+
 TEST(Golden, CleanScenariosPassTheDifferentialCheck) {
   std::uint64_t grants = 0;
   for (const auto& file : corpus()) {

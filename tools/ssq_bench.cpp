@@ -5,21 +5,32 @@
 // binaries):
 //   * steady-state switch throughput (cycles/sec and ns/step) at radix
 //     8/16/32/64 on a hotspot + best-effort workload,
+//   * the same radix-64 point with the scalar arbitration kernel, so both
+//     kernels stay gated,
+//   * a sparse (sub-10%-load, periodic-injection) radix-64 sweep with
+//     idle-cycle fast-forward on and off,
 //   * heap allocations per step at radix 64 (counted by the ssq_alloc_hook
 //     operator-new interposer; the zero-allocation claim, measured),
-//   * fuzz-campaign scenario throughput at 1 thread and at --jobs threads.
+//   * fuzz-campaign scenario throughput at 1 thread and at --jobs threads
+//     (the parallel point is skipped honestly on single-CPU hosts).
 //
 // `--check[=PATH]` re-reads a committed baseline report and fails (exit 1)
 // if any throughput metric regressed by more than --tolerance (default
-// 0.25) or the per-step allocation count grew. `--write-baseline` refreshes
-// the committed file. docs/PERFORMANCE.md describes the workflow.
+// 0.25) or the per-step allocation count grew. When the baseline was
+// recorded on a different host (see the report's "host" block: cpu count,
+// compiler, flags, build type), throughput regressions are demoted to
+// warnings — timing comparisons across machines are not apples-to-apples —
+// while allocation growth still fails. `--write-baseline` refreshes the
+// committed file. docs/PERFORMANCE.md describes the workflow.
 //
 // Exit codes: 0 ok, 1 regression vs baseline, 2 bad usage/config.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -47,10 +58,18 @@ Measures the hot-path metrics gated in CI and writes BENCH_hotpath.json.
   --cycles=N          measured cycles per radix point (default 50000)
   --scenarios=N       scenarios per campaign timing point (default 40)
   --jobs=N            thread count for the parallel campaign point
-                      (default 0 = all hardware threads)
+                      (default 0 = all hardware threads; on a single-CPU
+                      host the parallel point is skipped and campaign_jobs
+                      reports 1)
+  --kernel=bitsliced|scalar
+                      arbitration kernel for the radix sweep (default
+                      bitsliced; the dedicated radix64_scalar point always
+                      measures the scalar kernel)
   --json=PATH         report path (default BENCH_hotpath.json)
   --check[=PATH]      compare against a baseline report (default: the
-                      report path) and exit 1 on regression
+                      report path) and exit 1 on regression; throughput
+                      regressions are only warnings when the baseline's
+                      "host" block differs from this machine
   --tolerance=F       allowed fractional throughput regression for --check
                       (default 0.25)
   --write-baseline    alias for writing the report to the default path
@@ -78,9 +97,10 @@ std::uint64_t parse_u64(const std::string& value, std::string_view option) {
 /// The measurement configuration: the paper's SSVC parameters at the
 /// radix-64 bus budget (4 GB lanes), hotspot reservations on output 0 plus
 /// spread best-effort — the same shape as bench/radix64_scale.
-sw::SwitchConfig bench_config(std::uint32_t radix) {
+sw::SwitchConfig bench_config(std::uint32_t radix, core::ArbKernel kernel) {
   sw::SwitchConfig c;
   c.radix = radix;
+  c.kernel = kernel;
   c.ssvc.level_bits = 2;
   c.ssvc.lsb_bits = 8;
   c.ssvc.vtick_bits = 8;
@@ -135,20 +155,47 @@ traffic::Workload bench_workload(std::uint32_t radix, bool stable) {
   return w;
 }
 
+/// Sparse sweep workload: synchronized periodic best-effort flows on
+/// distinct input/output pairs at well under 10% per-port load. All flows
+/// fire together, the fabric drains in a dozen cycles, and the remaining
+/// ~94% of each period is globally idle — exactly the shape idle-cycle
+/// fast-forward exists for (Periodic injectors are deterministic, so every
+/// idle cycle is provably skippable).
+traffic::Workload sparse_workload(std::uint32_t radix) {
+  traffic::Workload w(radix);
+  const std::uint32_t n = radix / 4;
+  for (InputId i = 0; i < n; ++i) {
+    traffic::FlowSpec f;
+    f.src = i;
+    f.dst = 1 + (i % (radix - 1));
+    f.cls = TrafficClass::BestEffort;
+    f.len_min = f.len_max = 8;
+    f.inject = traffic::InjectKind::Periodic;
+    f.inject_rate = 0.02;  // period = 8 / 0.02 = 400 cycles, ~97% idle
+    w.add_flow(f);
+  }
+  return w;
+}
+
 struct StepPoint {
   std::uint32_t radix = 0;
   double cycles_per_sec = 0.0;
   double ns_per_step = 0.0;
 };
 
-StepPoint measure_steps(std::uint32_t radix, Cycle cycles) {
-  sw::CrossbarSwitch sim(bench_config(radix),
-                         bench_workload(radix, /*stable=*/false));
+StepPoint timed_run(sw::CrossbarSwitch& sim, std::uint32_t radix,
+                    Cycle cycles) {
   sim.warmup(5000);
-  const auto t0 = std::chrono::steady_clock::now();
-  sim.run(cycles);
-  const auto t1 = std::chrono::steady_clock::now();
-  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+  // Best of three repeats: a transient load spike on a shared box inflates
+  // a single measurement arbitrarily, but the minimum wall time over a few
+  // repeats converges on the machine's actual capability.
+  double wall_s = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    sim.run(cycles);
+    const auto t1 = std::chrono::steady_clock::now();
+    wall_s = std::min(wall_s, std::chrono::duration<double>(t1 - t0).count());
+  }
   StepPoint p;
   p.radix = radix;
   p.cycles_per_sec = static_cast<double>(cycles) / wall_s;
@@ -156,11 +203,27 @@ StepPoint measure_steps(std::uint32_t radix, Cycle cycles) {
   return p;
 }
 
+StepPoint measure_steps(std::uint32_t radix, Cycle cycles,
+                        core::ArbKernel kernel) {
+  sw::CrossbarSwitch sim(bench_config(radix, kernel),
+                         bench_workload(radix, /*stable=*/false));
+  return timed_run(sim, radix, cycles);
+}
+
+StepPoint measure_sparse(std::uint32_t radix, Cycle cycles,
+                         core::ArbKernel kernel, bool fast_forward) {
+  sw::SwitchConfig cfg = bench_config(radix, kernel);
+  cfg.fast_forward = fast_forward;
+  sw::CrossbarSwitch sim(cfg, sparse_workload(radix));
+  return timed_run(sim, radix, cycles);
+}
+
 /// Allocations per steady-state step at the given radix: warm up until the
 /// ring queues have reached capacity, then count operator-new calls over a
 /// measurement window.
-double measure_allocs(std::uint32_t radix, Cycle cycles) {
-  sw::CrossbarSwitch sim(bench_config(radix),
+double measure_allocs(std::uint32_t radix, Cycle cycles,
+                      core::ArbKernel kernel) {
+  sw::CrossbarSwitch sim(bench_config(radix, kernel),
                          bench_workload(radix, /*stable=*/true));
   sim.warmup(20000);
   alloc_hook::reset();
@@ -181,6 +244,57 @@ double measure_campaign(std::uint64_t scenarios, unsigned jobs) {
   const auto t1 = std::chrono::steady_clock::now();
   return static_cast<double>(scenarios) /
          std::chrono::duration<double>(t1 - t0).count();
+}
+
+#ifndef SSQ_HOST_COMPILER
+#define SSQ_HOST_COMPILER "unknown"
+#endif
+#ifndef SSQ_HOST_BUILD_TYPE
+#define SSQ_HOST_BUILD_TYPE "unknown"
+#endif
+#ifndef SSQ_HOST_CXX_FLAGS
+#define SSQ_HOST_CXX_FLAGS ""
+#endif
+
+/// Identification of the machine + toolchain that produced a report.
+/// Timing baselines are only apples-to-apples when all of this matches.
+std::vector<std::pair<std::string, std::string>> host_info() {
+  return {{"cpus", std::to_string(exec::ThreadPool::hardware_threads())},
+          {"compiler", SSQ_HOST_COMPILER},
+          {"build_type", SSQ_HOST_BUILD_TYPE},
+          {"flags", SSQ_HOST_CXX_FLAGS}};
+}
+
+/// Extracts the `"host":{"k":"v",...}` object of a report; empty when the
+/// report predates host identification (treated as a host mismatch).
+std::vector<std::pair<std::string, std::string>> read_host(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw ConfigError("cannot open baseline '" + path + "'");
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+  const std::string key = "\"host\":{";
+  const std::size_t begin = text.find(key);
+  std::vector<std::pair<std::string, std::string>> out;
+  if (begin == std::string::npos) return out;
+  const std::size_t end = text.find('}', begin);
+  if (end == std::string::npos) return out;
+  std::size_t pos = begin + key.size();
+  while (pos < end) {
+    const std::size_t k0 = text.find('"', pos);
+    if (k0 == std::string::npos || k0 >= end) break;
+    const std::size_t k1 = text.find('"', k0 + 1);
+    if (k1 == std::string::npos || k1 >= end) break;
+    const std::size_t v0 = text.find('"', k1 + 1);
+    if (v0 == std::string::npos || v0 >= end) break;
+    const std::size_t v1 = text.find('"', v0 + 1);
+    if (v1 == std::string::npos || v1 > end) break;
+    out.emplace_back(text.substr(k0 + 1, k1 - k0 - 1),
+                     text.substr(v0 + 1, v1 - v0 - 1));
+    pos = v1 + 1;
+  }
+  return out;
 }
 
 /// Minimal extractor for the `"metrics":{"name":value,...}` object of an
@@ -223,7 +337,14 @@ void write_report(const std::string& path,
                   const std::vector<std::pair<std::string, double>>& metrics) {
   std::ofstream os(path);
   if (!os) throw ConfigError("cannot open '" + path + "' for writing");
-  os << "{\"schema\":\"ssq.bench.v1\",\"bench\":\"hotpath\",\"metrics\":{";
+  os << "{\"schema\":\"ssq.bench.v1\",\"bench\":\"hotpath\",\"host\":{";
+  const auto host = host_info();
+  for (std::size_t i = 0; i < host.size(); ++i) {
+    if (i) os << ',';
+    os << obs::json_quote(host[i].first) << ':'
+       << obs::json_quote(host[i].second);
+  }
+  os << "},\"metrics\":{";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     if (i) os << ',';
     os << obs::json_quote(metrics[i].first) << ':'
@@ -243,6 +364,7 @@ int main(int argc, char** argv) {
   std::optional<std::string> check_path;
   double tolerance = 0.25;
   bool write_baseline = false;
+  core::ArbKernel kernel = core::ArbKernel::Bitsliced;
 
   try {
     for (int a = 1; a < argc; ++a) {
@@ -258,6 +380,14 @@ int main(int argc, char** argv) {
         if (scenarios == 0) throw ConfigError("--scenarios must be positive");
       } else if (auto v3 = opt_value(arg, "--jobs")) {
         jobs = static_cast<unsigned>(parse_u64(*v3, "--jobs"));
+      } else if (auto vk = opt_value(arg, "--kernel")) {
+        if (*vk == "bitsliced") {
+          kernel = core::ArbKernel::Bitsliced;
+        } else if (*vk == "scalar") {
+          kernel = core::ArbKernel::Scalar;
+        } else {
+          throw ConfigError("--kernel expects bitsliced or scalar");
+        }
       } else if (auto v4 = opt_value(arg, "--json")) {
         if (v4->empty()) throw ConfigError("--json needs =PATH");
         json_path = *v4;
@@ -279,17 +409,39 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    if (jobs == 0) jobs = exec::ThreadPool::hardware_threads();
+    const unsigned hw_threads = exec::ThreadPool::hardware_threads();
+    if (jobs == 0) jobs = hw_threads;
 
     // Baseline must be read BEFORE we overwrite the report in place.
     std::vector<std::pair<std::string, double>> baseline;
+    bool host_matches = true;
     if (check_path.has_value()) {
-      baseline = read_metrics(check_path->empty() ? json_path : *check_path);
+      const std::string base_path =
+          check_path->empty() ? json_path : *check_path;
+      baseline = read_metrics(base_path);
+      const auto base_host = read_host(base_path);
+      const auto cur_host = host_info();
+      if (base_host != cur_host) {
+        host_matches = false;
+        std::cout << "baseline host differs from this machine; throughput "
+                     "regressions will only warn:\n";
+        for (const auto& [k, v] : cur_host) {
+          std::string base_v = "<absent>";
+          for (const auto& [bk, bv] : base_host) {
+            if (bk == k) base_v = bv;
+          }
+          if (base_v != v) {
+            std::cout << "  " << k << ": baseline '" << base_v << "' vs '"
+                      << v << "'\n";
+          }
+        }
+      }
     }
 
     std::vector<std::pair<std::string, double>> metrics;
+    std::cout << "kernel: " << core::to_string(kernel) << "\n";
     for (std::uint32_t radix : {8u, 16u, 32u, 64u}) {
-      const StepPoint p = measure_steps(radix, cycles);
+      const StepPoint p = measure_steps(radix, cycles, kernel);
       std::cout << "radix " << p.radix << ": "
                 << static_cast<long>(p.cycles_per_sec) << " cycles/s ("
                 << p.ns_per_step << " ns/step)\n";
@@ -298,18 +450,57 @@ int main(int argc, char** argv) {
       metrics.emplace_back("ns_per_step_radix" + std::to_string(radix),
                            p.ns_per_step);
     }
-    const double allocs = measure_allocs(64, cycles);
+    // The scalar kernel stays gated regardless of --kernel: a regression in
+    // the reference implementation must not hide behind the fast one.
+    const StepPoint scalar64 =
+        measure_steps(64, cycles, core::ArbKernel::Scalar);
+    std::cout << "radix 64 scalar kernel: "
+              << static_cast<long>(scalar64.cycles_per_sec) << " cycles/s ("
+              << scalar64.ns_per_step << " ns/step)\n";
+    metrics.emplace_back("cycles_per_sec_radix64_scalar",
+                         scalar64.cycles_per_sec);
+
+    // Sparse sweep: ten periods' worth of cycles so the fast-forwarded run
+    // is long enough to time. Same simulation either way — the golden-trace
+    // corpus asserts byte-identical events — only wall clock differs.
+    const Cycle sparse_cycles = cycles * 10;
+    const StepPoint sp_ff =
+        measure_sparse(64, sparse_cycles, kernel, /*fast_forward=*/true);
+    const StepPoint sp_noff =
+        measure_sparse(64, sparse_cycles, kernel, /*fast_forward=*/false);
+    std::cout << "sparse radix 64 (sub-10% load): "
+              << static_cast<long>(sp_ff.cycles_per_sec)
+              << " cycles/s with fast-forward, "
+              << static_cast<long>(sp_noff.cycles_per_sec)
+              << " without (x" << sp_ff.cycles_per_sec / sp_noff.cycles_per_sec
+              << ")\n";
+    metrics.emplace_back("cycles_per_sec_sparse64_ff", sp_ff.cycles_per_sec);
+    metrics.emplace_back("cycles_per_sec_sparse64_noff",
+                         sp_noff.cycles_per_sec);
+
+    const double allocs = measure_allocs(64, cycles, kernel);
     std::cout << "radix 64 steady-state allocations/step: " << allocs << "\n";
     metrics.emplace_back("allocs_per_step_radix64", allocs);
 
     const double sps1 = measure_campaign(scenarios, 1);
     std::cout << "campaign at 1 thread: " << sps1 << " scenarios/s\n";
     metrics.emplace_back("campaign_scenarios_per_sec_jobs1", sps1);
-    const double spsN = measure_campaign(scenarios, jobs);
-    std::cout << "campaign at " << jobs << " threads: " << spsN
-              << " scenarios/s\n";
-    metrics.emplace_back("campaign_jobs", static_cast<double>(jobs));
-    metrics.emplace_back("campaign_scenarios_per_sec_jobsN", spsN);
+    if (hw_threads > 1 && jobs > 1) {
+      const double spsN = measure_campaign(scenarios, jobs);
+      std::cout << "campaign at " << jobs << " threads: " << spsN
+                << " scenarios/s\n";
+      metrics.emplace_back("campaign_jobs", static_cast<double>(jobs));
+      metrics.emplace_back("campaign_scenarios_per_sec_jobsN", spsN);
+    } else {
+      // A single hardware thread cannot demonstrate parallel speedup;
+      // pretending otherwise just records scheduler noise. Report the
+      // honest job count and skip the parallel point (the --check gate
+      // skips metrics that are absent from the current run).
+      std::cout << "campaign parallel point skipped ("
+                << hw_threads << " hardware thread(s), --jobs=" << jobs
+                << ")\n";
+      metrics.emplace_back("campaign_jobs", 1.0);
+    }
 
     if (write_baseline || !check_path.has_value()) {
       write_report(json_path, metrics);
@@ -329,10 +520,12 @@ int main(int argc, char** argv) {
       const bool is_throughput = name.find("cycles_per_sec") == 0 ||
                                  name.find("campaign_scenarios_per_sec") == 0;
       if (is_throughput && cur < base * (1.0 - tolerance)) {
-        std::cout << "REGRESSION " << name << ": " << cur << " < "
-                  << base * (1.0 - tolerance) << " (baseline " << base
-                  << ", tolerance " << tolerance << ")\n";
-        ++failures;
+        // Cross-host timing baselines are not comparable; warn, don't fail.
+        std::cout << (host_matches ? "REGRESSION " : "WARNING (host differs) ")
+                  << name << ": " << cur << " < " << base * (1.0 - tolerance)
+                  << " (baseline " << base << ", tolerance " << tolerance
+                  << ")\n";
+        if (host_matches) ++failures;
       }
       if (name == "allocs_per_step_radix64" && cur > base + 0.01) {
         std::cout << "REGRESSION " << name << ": " << cur << " > baseline "
