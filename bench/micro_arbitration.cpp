@@ -21,8 +21,10 @@
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "fault/scrubber.hpp"
+#include "obs/conformance.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
+#include "switch/observe.hpp"
 #include "sim/rng.hpp"
 #include "switch/crossbar.hpp"
 #include "traffic/workload.hpp"
@@ -109,11 +111,13 @@ struct NullStreambuf final : std::streambuf {
   }
 };
 
-enum class ObsMode { Off, Metrics, Trace };
+enum class ObsMode { Off, Metrics, Trace, Monitor };
 
 // Whole-switch stepping on the saturated Fig. 4 workload (8 GB flows onto
 // one output). items_per_second = simulated cycles per wall-clock second;
-// compare the three modes for the observability overhead.
+// compare the modes for the observability overhead (Monitor attaches the
+// online QoS conformance monitor on the probe's extra sink — the cost the
+// ssq_sim/ssq_fuzz --monitor flag pays per cycle).
 void BM_SwitchStep(benchmark::State& state, ObsMode mode) {
   const std::vector<double> rates = {0.40, 0.20, 0.10, 0.10,
                                      0.05, 0.05, 0.05, 0.05};
@@ -128,8 +132,14 @@ void BM_SwitchStep(benchmark::State& state, ObsMode mode) {
   std::ostream null_os(&null_buf);
   obs::JsonlSink sink(null_os);
   obs::Tracer tracer(sink);
+  std::unique_ptr<obs::ConformanceMonitor> monitor;
   if (mode != ObsMode::Off) {
     if (mode == ObsMode::Trace) probe.set_tracer(&tracer);
+    if (mode == ObsMode::Monitor) {
+      monitor = std::make_unique<obs::ConformanceMonitor>(
+          sw::make_conformance_config(sim.config(), sim.workload(), 2048));
+      probe.set_extra_sink(monitor.get());
+    }
     sim.attach_probe(&probe);
   }
 
@@ -280,6 +290,7 @@ BENCHMARK_CAPTURE(BM_SwitchStepSparse, ff_off, false);
 BENCHMARK_CAPTURE(BM_SwitchStep, obs_off, ObsMode::Off);
 BENCHMARK_CAPTURE(BM_SwitchStep, obs_metrics, ObsMode::Metrics);
 BENCHMARK_CAPTURE(BM_SwitchStep, obs_trace_null_sink, ObsMode::Trace);
+BENCHMARK_CAPTURE(BM_SwitchStep, obs_monitor, ObsMode::Monitor);
 BENCHMARK_CAPTURE(BM_SwitchStepFaults, fault_detached, FaultMode::Detached);
 BENCHMARK_CAPTURE(BM_SwitchStepFaults, fault_empty_plan, FaultMode::EmptyPlan);
 BENCHMARK_CAPTURE(BM_SwitchStepFaults, fault_active_scrubbed,

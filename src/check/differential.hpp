@@ -48,6 +48,19 @@ struct CheckOptions {
   bool state_compare = true;
   /// Deliberate defect planted in the reference model (tests only).
   PlantedBug bug = PlantedBug::None;
+  /// Attach an online QoS conformance monitor (run_scenario only): GB
+  /// share / GL Eq. (1) / BE fairness verdicts are counted into RunResult.
+  /// Checks are armed per scenario — GL only under Stall policing, GB only
+  /// under a real counter-management policy (see run_scenario).
+  bool monitor = false;
+  /// Conformance window in cycles. Smaller than ssq_sim's 2048 default:
+  /// generated scenarios run only a few thousand cycles, and a campaign's
+  /// teeth come from judged windows per scenario.
+  Cycle monitor_window = 512;
+  /// Flight-recorder ring capacity in events (0 = no recorder). With a
+  /// recorder attached, RunResult::flight_dump carries a bounded JSONL
+  /// snapshot of the first incident (violation, fault, or divergence).
+  std::size_t flight_recorder = 0;
 };
 
 struct Divergence {

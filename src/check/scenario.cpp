@@ -9,8 +9,12 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/conformance.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
 #include "sim/error.hpp"
 #include "sim/rng.hpp"
+#include "switch/observe.hpp"
 
 namespace ssq::check {
 
@@ -287,6 +291,16 @@ Scenario generate_scenario(std::uint64_t index, std::uint64_t base_seed) {
                                          : 0.005 + rng.uniform() * 0.04;
       has_gl[f.dst] = true;
     }
+    // A packet longer than its class buffer can never be admitted and
+    // wedges the queue behind it forever (the conformance monitor rightly
+    // reads that as starvation). Clamp: generated packets must fit.
+    const std::uint32_t buf_cap =
+        f.cls == TrafficClass::GuaranteedBandwidth
+            ? s.buffers.gb_flits_per_output
+            : f.cls == TrafficClass::GuaranteedLatency ? s.buffers.gl_flits
+                                                       : s.buffers.be_flits;
+    f.len_max = std::min(f.len_max, buf_cap);
+    f.len_min = std::min(f.len_min, f.len_max);
     s.flows.push_back(f);
   }
   for (OutputId o = 0; o < s.radix; ++o) {
@@ -577,12 +591,60 @@ ScenarioRun instantiate(const Scenario& s) {
 RunResult run_scenario(const Scenario& s, const CheckOptions& opts) {
   ScenarioRun rig = instantiate(s);
   DifferentialChecker checker(*rig.sim, opts);
-  checker.run(s.cycles);
 
   RunResult result;
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  std::unique_ptr<obs::ConformanceMonitor> monitor;
+  obs::TeeSink tee;
+  if (opts.flight_recorder > 0) {
+    // Added first so the ring already holds the triggering event when a
+    // monitor callback captures the dump.
+    recorder = std::make_unique<obs::FlightRecorder>(opts.flight_recorder);
+    tee.add(recorder.get());
+  }
+  if (opts.monitor) {
+    obs::ConformanceConfig cfg = sw::make_conformance_config(
+        rig.sim->config(), rig.sim->workload(), opts.monitor_window);
+    // Eq. (1) presumes the policer keeps GL arrivals inside the reserved
+    // envelope — only Stall enforces that (and the monitor's stall-skip
+    // removes the policer's own delays from the judged waits). GB share
+    // under CounterPolicy::None is not judged either: unbounded counters
+    // stop differentiating flows by design once they clamp.
+    cfg.check_gl = s.gl_policing == core::GlPolicing::Stall;
+    cfg.check_gb = s.ssvc.policy != core::CounterPolicy::None;
+    monitor = std::make_unique<obs::ConformanceMonitor>(std::move(cfg));
+    if (recorder != nullptr) {
+      obs::FlightRecorder* rec = recorder.get();
+      RunResult* res = &result;
+      monitor->set_on_violation([rec, res](const obs::Violation& v) {
+        if (res->flight_dump.empty()) {
+          res->flight_dump = rec->dump_string(
+              "violation:" + std::string(obs::to_string(v.kind)), v.cycle);
+        }
+      });
+      monitor->set_on_fault([rec, res](const obs::Event& e) {
+        if (res->flight_dump.empty()) {
+          res->flight_dump = rec->dump_string("fault", e.cycle);
+        }
+      });
+    }
+    tee.add(monitor.get());
+  }
+  if (tee.size() > 0) checker.probe().set_extra_sink(&tee);
+
+  checker.run(s.cycles);
+
   result.grants_checked = checker.grants_checked();
   for (FlowId f = 0; f < rig.sim->workload().num_flows(); ++f) {
     result.delivered += rig.sim->delivered_packets(f);
+  }
+  if (monitor != nullptr) {
+    monitor->finalize(rig.sim->now());
+    result.violations_gb = monitor->violations(obs::ViolationKind::GbShare);
+    result.violations_gl = monitor->violations(obs::ViolationKind::GlLatency);
+    result.violations_be =
+        monitor->violations(obs::ViolationKind::BeStarvation);
+    result.windows_checked = monitor->windows_total();
   }
   if (checker.divergence().has_value()) {
     const Divergence& d = *checker.divergence();
@@ -591,6 +653,12 @@ RunResult run_scenario(const Scenario& s, const CheckOptions& opts) {
     result.output = d.output;
     result.kind = d.kind;
     result.detail = d.detail;
+    if (recorder != nullptr) {
+      // The divergence moment is THE incident; it supersedes any earlier
+      // violation/fault snapshot.
+      result.flight_dump =
+          recorder->dump_string("divergence:" + d.kind, d.cycle);
+    }
   }
   return result;
 }

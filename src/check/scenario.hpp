@@ -103,6 +103,15 @@ struct RunResult {
   std::string detail;
   std::uint64_t grants_checked = 0;
   std::uint64_t delivered = 0;
+  // Conformance telemetry (CheckOptions::monitor).
+  std::uint64_t violations_gb = 0;
+  std::uint64_t violations_gl = 0;
+  std::uint64_t violations_be = 0;
+  std::uint64_t windows_checked = 0;
+  /// Bounded JSONL incident snapshot (CheckOptions::flight_recorder):
+  /// captured at the first violation or fault, replaced by the divergence
+  /// snapshot if the differential checker fails. Empty when nothing fired.
+  std::string flight_dump;
 };
 
 /// Runs the scenario under a DifferentialChecker (scenarios with faults are

@@ -1,0 +1,275 @@
+#include "obs/conformance.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "sim/contracts.hpp"
+#include "stats/table.hpp"
+
+namespace ssq::obs {
+
+ConformanceMonitor::ConformanceMonitor(ConformanceConfig config)
+    : config_(std::move(config)) {
+  SSQ_EXPECT(config_.window >= 1);
+  flows_.resize(config_.flows.size());
+  windows_total_ = metrics_.counter("conformance.windows.total");
+  windows_ok_ = metrics_.counter("conformance.windows.ok");
+  windows_violating_ = metrics_.counter("conformance.windows.violating");
+  windows_coalesced_ = metrics_.counter("conformance.windows.coalesced_idle");
+  gb_windows_backlogged_ =
+      metrics_.counter("conformance.gb.windows_backlogged");
+  viol_gb_ = metrics_.counter("conformance.violations.gb_share");
+  viol_gl_ = metrics_.counter("conformance.violations.gl_latency");
+  viol_be_ = metrics_.counter("conformance.violations.be_starvation");
+  gl_checked_ = metrics_.counter("conformance.gl.grants_checked");
+  gl_skipped_ = metrics_.counter("conformance.gl.stall_skipped");
+  jain_gauge_ = metrics_.gauge("conformance.be.jain");
+  jain_min_gauge_ = metrics_.gauge("conformance.be.jain_min");
+  metrics_.set(jain_gauge_, 1.0);
+  metrics_.set(jain_min_gauge_, 1.0);
+}
+
+std::uint64_t ConformanceMonitor::violations(ViolationKind k) const {
+  switch (k) {
+    case ViolationKind::GbShare: return metrics_.value(viol_gb_);
+    case ViolationKind::GlLatency: return metrics_.value(viol_gl_);
+    case ViolationKind::BeStarvation: return metrics_.value(viol_be_);
+  }
+  return 0;
+}
+
+std::uint64_t ConformanceMonitor::total_violations() const {
+  return metrics_.value(viol_gb_) + metrics_.value(viol_gl_) +
+         metrics_.value(viol_be_);
+}
+
+std::uint64_t ConformanceMonitor::windows_total() const {
+  return metrics_.value(windows_total_);
+}
+std::uint64_t ConformanceMonitor::windows_ok() const {
+  return metrics_.value(windows_ok_);
+}
+std::uint64_t ConformanceMonitor::windows_violating() const {
+  return metrics_.value(windows_violating_);
+}
+std::uint64_t ConformanceMonitor::windows_coalesced() const {
+  return metrics_.value(windows_coalesced_);
+}
+std::uint64_t ConformanceMonitor::gl_grants_checked() const {
+  return metrics_.value(gl_checked_);
+}
+std::uint64_t ConformanceMonitor::gl_stall_skipped() const {
+  return metrics_.value(gl_skipped_);
+}
+
+void ConformanceMonitor::record(const Violation& v) {
+  switch (v.kind) {
+    case ViolationKind::GbShare: metrics_.add(viol_gb_); break;
+    case ViolationKind::GlLatency: metrics_.add(viol_gl_); break;
+    case ViolationKind::BeStarvation: metrics_.add(viol_be_); break;
+  }
+  window_violating_ = true;
+  if (records_.size() < config_.max_records) records_.push_back(v);
+  if (on_violation_) on_violation_(v);
+}
+
+void ConformanceMonitor::advance_to(Cycle c) {
+  const Cycle w = config_.window;
+  while (window_start_ + w <= c) {
+    if (live_ == 0 && !window_active_) {
+      // Nothing inflight and no event since the window opened: every whole
+      // window up to c closes trivially "ok". Coalesce them in O(1) — this
+      // is the idle-cycle fast-forward path, where a clock jump may span
+      // thousands of windows.
+      const std::uint64_t skipped = (c - window_start_) / w;
+      metrics_.add(windows_total_, skipped);
+      metrics_.add(windows_ok_, skipped);
+      metrics_.add(windows_coalesced_, skipped);
+      window_start_ += skipped * w;
+      continue;
+    }
+    close_window();
+  }
+}
+
+void ConformanceMonitor::close_window() {
+  const Cycle ws = window_start_;
+  const Cycle we = ws + config_.window;
+  const double wlen = static_cast<double>(config_.window);
+  std::size_t be_n = 0;
+  double be_sum = 0.0;
+  double be_sumsq = 0.0;
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    FlowState& fs = flows_[f];
+    const FlowReservation& spec = config_.flows[f];
+    const auto delivered_w =
+        static_cast<double>(fs.delivered_flits - fs.delivered_at_ws);
+    const bool backlogged = fs.min_inflight >= 1;
+    if (backlogged && spec.cls == TrafficClass::GuaranteedBandwidth &&
+        spec.reserved_rate > 0.0 && config_.check_gb) {
+      metrics_.add(gb_windows_backlogged_);
+      // Channel efficiency: each grant moves mean_len flits but occupies
+      // the output for mean_len + arbitration cycles.
+      const double eff =
+          spec.mean_len /
+          (spec.mean_len + static_cast<double>(config_.arbitration_cycles));
+      const double floor = spec.reserved_rate * wlen * eff *
+                               (1.0 - config_.gb_tolerance) -
+                           config_.gb_slack_flits;
+      if (delivered_w < floor) {
+        record({ViolationKind::GbShare, we, ws, f, spec.dst, delivered_w,
+                floor});
+      }
+    }
+    if (backlogged && spec.cls == TrafficClass::BestEffort) {
+      ++be_n;
+      be_sum += delivered_w;
+      be_sumsq += delivered_w * delivered_w;
+    }
+    fs.delivered_at_ws = fs.delivered_flits;
+    fs.min_inflight = fs.inflight;
+  }
+  if (be_n > 0) {
+    // Jain's fairness index over backlogged BE flows' window deliveries.
+    // All-zero means everyone was (equally) shut out by the guaranteed
+    // classes, which BE permits — define that as 1.
+    const double jain =
+        be_sum == 0.0
+            ? 1.0
+            : be_sum * be_sum / (static_cast<double>(be_n) * be_sumsq);
+    jain_last_ = jain;
+    jain_min_ = std::min(jain_min_, jain);
+    metrics_.set(jain_gauge_, jain_last_);
+    metrics_.set(jain_min_gauge_, jain_min_);
+    if (config_.be_jain_min > 0.0 && jain < config_.be_jain_min) {
+      record({ViolationKind::BeStarvation, we, ws, kNoId, kNoPort, jain,
+              config_.be_jain_min});
+    }
+  }
+  metrics_.add(windows_total_);
+  metrics_.add(window_violating_ ? windows_violating_ : windows_ok_);
+  window_violating_ = false;
+  window_active_ = false;
+  window_start_ = we;
+}
+
+void ConformanceMonitor::on_event(const Event& e) {
+  advance_to(e.cycle);
+  window_active_ = true;
+  switch (e.kind) {
+    case EventKind::PacketCreated: {
+      if (e.flow >= flows_.size()) break;
+      ++flows_[e.flow].inflight;
+      ++live_;
+      break;
+    }
+    case EventKind::Delivered: {
+      if (e.flow >= flows_.size()) break;
+      FlowState& fs = flows_[e.flow];
+      fs.delivered_flits += e.length;
+      --fs.inflight;
+      fs.min_inflight = std::min(fs.min_inflight, fs.inflight);
+      --live_;
+      break;
+    }
+    case EventKind::Grant:
+    case EventKind::ChainGrant: {
+      if (e.cls != TrafficClass::GuaranteedLatency || !config_.check_gl ||
+          e.output >= config_.gl_bound.size()) {
+        break;
+      }
+      const double bound = config_.gl_bound[e.output];
+      if (bound <= 0.0) break;
+      metrics_.add(gl_checked_);
+      const auto wait = static_cast<double>(e.arg0);
+      if (wait <= bound) break;
+      // A policer stall inside this packet's waiting span means the wait
+      // includes deliberate ineligibility, which Eq. (1) does not cover.
+      // Any output counts, not just the granted one: each input has one GL
+      // queue, so a packet stalled toward output A head-of-line blocks the
+      // packets behind it bound for output B.
+      if (config_.gl_skip_stalled && stalled_any_ &&
+          last_stall_any_ + e.arg0 >= e.cycle) {
+        metrics_.add(gl_skipped_);
+        break;
+      }
+      record({ViolationKind::GlLatency, e.cycle, window_start_, e.flow,
+              e.output, wait, bound});
+      break;
+    }
+    case EventKind::GlStall: {
+      last_stall_any_ = e.cycle;
+      stalled_any_ = true;
+      break;
+    }
+    case EventKind::FaultInjected: {
+      if (on_fault_) on_fault_(e);
+      break;
+    }
+    default: break;
+  }
+}
+
+void ConformanceMonitor::on_clock_jump(Cycle /*from*/, Cycle to) {
+  advance_to(to);
+}
+
+void ConformanceMonitor::finalize(Cycle end) { advance_to(end); }
+
+void ConformanceMonitor::write_json(std::ostream& os) const {
+  os << "{\"schema\":\"ssq.conformance.v1\",\"window\":" << config_.window
+     << ",\"windows\":{\"total\":" << windows_total()
+     << ",\"ok\":" << windows_ok() << ",\"violating\":" << windows_violating()
+     << ",\"coalesced_idle\":" << windows_coalesced()
+     << "},\"violations\":{\"gb_share\":"
+     << violations(ViolationKind::GbShare)
+     << ",\"gl_latency\":" << violations(ViolationKind::GlLatency)
+     << ",\"be_starvation\":" << violations(ViolationKind::BeStarvation)
+     << "},\"gl\":{\"grants_checked\":" << gl_grants_checked()
+     << ",\"stall_skipped\":" << gl_stall_skipped()
+     << "},\"be\":{\"jain_last\":" << json_number(jain_last_)
+     << ",\"jain_min\":" << json_number(jain_min_) << "},\"records\":[";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Violation& v = records_[i];
+    if (i != 0) os << ',';
+    os << "{\"kind\":" << json_quote(to_string(v.kind))
+       << ",\"cycle\":" << v.cycle << ",\"window_start\":" << v.window_start;
+    if (v.flow != kNoId) os << ",\"flow\":" << v.flow;
+    if (v.output != kNoPort) os << ",\"output\":" << v.output;
+    os << ",\"observed\":" << json_number(v.observed)
+       << ",\"bound\":" << json_number(v.bound) << '}';
+  }
+  os << "]}";
+}
+
+void ConformanceMonitor::write_summary(std::ostream& os) const {
+  stats::Table t("QoS conformance");
+  t.header({"check", "windows", "violations", "detail"});
+  t.row()
+      .cell("gb_share")
+      .cell(metrics_.value(gb_windows_backlogged_))
+      .cell(violations(ViolationKind::GbShare))
+      .cell("backlogged flow-windows vs derated reservation");
+  t.row()
+      .cell("gl_latency")
+      .cell(gl_grants_checked())
+      .cell(violations(ViolationKind::GlLatency))
+      .cell("grants vs Eq.(1); " + std::to_string(gl_stall_skipped()) +
+            " stall-skipped");
+  char jain[64];
+  std::snprintf(jain, sizeof jain, "jain last %.3f min %.3f", jain_last_,
+                jain_min_);
+  t.row()
+      .cell("be_fairness")
+      .cell(windows_total())
+      .cell(violations(ViolationKind::BeStarvation))
+      .cell(jain);
+  t.render_ascii(os);
+  os << "windows: " << windows_total() << " total, " << windows_ok()
+     << " ok, " << windows_violating() << " violating, "
+     << windows_coalesced() << " coalesced idle\n";
+}
+
+}  // namespace ssq::obs

@@ -1,0 +1,192 @@
+// Online QoS conformance monitor.
+//
+// The paper's claims are *guarantees* — GB flows receive their reserved
+// bandwidth share while backlogged, GL packets wait at most the Eq. (1)
+// bound, BE shares the leftovers fairly — and this monitor checks them
+// while the simulator runs, from the probe's event stream alone. It is a
+// plain TraceSink: attach it next to (or instead of) a file sink and it
+// judges fixed-size windows of `window` cycles:
+//
+//   * GB share: a flow that was backlogged for the whole window (its
+//     created-minus-delivered packet count never hit zero) must have
+//     received at least its reserved rate, derated by the arbitration
+//     overhead len/(len + arb_cycles) and the configured tolerance.
+//   * GL latency: every GL grant's wait is compared against the Eq. (1)
+//     bound precomputed per output (obs sits below qosmath in the library
+//     order, so the bound arrives via ConformanceConfig — see
+//     sw::make_conformance_config). Grants whose wait overlaps a policer
+//     stall are skipped when gl_skip_stalled is set: Stall-policed waits
+//     include deliberate ineligibility, which Eq. (1) does not cover.
+//   * BE fairness: Jain's index over the window deliveries of backlogged
+//     BE flows, reported as a gauge (and optionally enforced).
+//
+// Violations become typed records (bounded), per-kind counters in the
+// monitor's own MetricsRegistry (merge into a probe's registry for one
+// report), per-window verdict counters, and an optional callback — the
+// flight-recorder dump trigger. Window advancement is event-driven and
+// fast-forward aware: on_clock_jump() coalesces windows skipped by an
+// idle-cycle jump (counted under conformance.windows.coalesced_idle)
+// instead of silently stretching the current window.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/types.hpp"
+
+namespace ssq::obs {
+
+enum class ViolationKind : std::uint8_t { GbShare, GlLatency, BeStarvation };
+
+[[nodiscard]] constexpr std::string_view to_string(ViolationKind k) noexcept {
+  switch (k) {
+    case ViolationKind::GbShare: return "gb_share";
+    case ViolationKind::GlLatency: return "gl_latency";
+    case ViolationKind::BeStarvation: return "be_starvation";
+  }
+  return "?";
+}
+
+/// Per-flow reservation facts the monitor judges against (one entry per
+/// FlowId, in order).
+struct FlowReservation {
+  InputId src = 0;
+  OutputId dst = 0;
+  TrafficClass cls = TrafficClass::BestEffort;
+  /// GB only: reserved fraction of the destination channel.
+  double reserved_rate = 0.0;
+  /// Mean packet length in flits (derates GB expectations by arbitration
+  /// overhead).
+  double mean_len = 1.0;
+};
+
+struct ConformanceConfig {
+  /// Judgement window in cycles (windows are aligned to multiples of it).
+  Cycle window = 2048;
+  /// GB: relative tolerance on the derated reservation. The default is
+  /// deliberately loose — SSVC shares *channel time*, so mixed packet
+  /// lengths, counter-management drift and admissible-but-time-overcommitted
+  /// reservations all legitimately shave the flit share — and still has
+  /// teeth: real failures (killed port, unpoliced GL flood) starve a flow
+  /// outright, far below any reasonable floor.
+  double gb_tolerance = 0.5;
+  /// GB: absolute per-window slack in flits (packet granularity).
+  double gb_slack_flits = 16.0;
+  /// BE: minimum acceptable Jain index; <= 0 reports the gauge only.
+  double be_jain_min = 0.0;
+  bool check_gb = true;
+  bool check_gl = true;
+  /// Skip GL grants whose wait span overlaps a GlStall on that output.
+  bool gl_skip_stalled = true;
+  /// Cap on stored Violation records (counters keep exact totals).
+  std::size_t max_records = 64;
+  /// Output arbitration cycles per grant (derates GB expectations).
+  std::uint32_t arbitration_cycles = 1;
+  std::vector<FlowReservation> flows;
+  /// Per-output Eq. (1) wait bound in cycles; <= 0 means no GL reservation
+  /// at that output (GL grants there are not judged).
+  std::vector<double> gl_bound;
+};
+
+struct Violation {
+  ViolationKind kind = ViolationKind::GbShare;
+  /// Cycle the violation was detected (window close, or the grant cycle).
+  Cycle cycle = 0;
+  Cycle window_start = 0;
+  std::uint64_t flow = kNoId;  // kNoId for BE fairness verdicts
+  OutputId output = kNoPort;
+  /// Observed quantity: GB delivered flits / GL wait cycles / Jain index.
+  double observed = 0.0;
+  /// The floor (GB), bound (GL) or minimum (BE) it was judged against.
+  double bound = 0.0;
+};
+
+class ConformanceMonitor final : public TraceSink {
+ public:
+  explicit ConformanceMonitor(ConformanceConfig config);
+
+  void on_event(const Event& e) override;
+  void on_clock_jump(Cycle from, Cycle to) override;
+  /// Closes every window ending at or before `end` (call once after the
+  /// run; the trailing partial window is left unjudged).
+  void finalize(Cycle end);
+
+  /// Called on every violation (including ones beyond the record cap) —
+  /// the flight-recorder dump trigger.
+  void set_on_violation(std::function<void(const Violation&)> cb) {
+    on_violation_ = std::move(cb);
+  }
+  /// Called on every FaultInjected event (secondary dump trigger).
+  void set_on_fault(std::function<void(const Event&)> cb) {
+    on_fault_ = std::move(cb);
+  }
+
+  [[nodiscard]] const ConformanceConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const std::vector<Violation>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t violations(ViolationKind k) const;
+  [[nodiscard]] std::uint64_t total_violations() const;
+  [[nodiscard]] std::uint64_t windows_total() const;
+  [[nodiscard]] std::uint64_t windows_ok() const;
+  [[nodiscard]] std::uint64_t windows_violating() const;
+  [[nodiscard]] std::uint64_t windows_coalesced() const;
+  [[nodiscard]] std::uint64_t gl_grants_checked() const;
+  [[nodiscard]] std::uint64_t gl_stall_skipped() const;
+  /// Smallest per-window Jain index seen (1.0 until a BE window closes).
+  [[nodiscard]] double jain_min() const noexcept { return jain_min_; }
+
+  /// The monitor's own registry (conformance.* counters and gauges);
+  /// merge() it into a probe's registry for a single metrics report.
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  /// One `ssq.conformance.v1` JSON object: window geometry, verdict and
+  /// violation counters, and the bounded violation records.
+  void write_json(std::ostream& os) const;
+  /// Human-readable verdict table (end-of-run summaries).
+  void write_summary(std::ostream& os) const;
+
+ private:
+  struct FlowState {
+    std::uint64_t delivered_flits = 0;
+    std::uint64_t delivered_at_ws = 0;  // snapshot at window start
+    std::int64_t inflight = 0;          // created - delivered packets
+    std::int64_t min_inflight = 0;      // since window start
+  };
+  void advance_to(Cycle c);
+  void close_window();
+  void record(const Violation& v);
+
+  ConformanceConfig config_;
+  MetricsRegistry metrics_;
+  std::vector<FlowState> flows_;
+  std::vector<Violation> records_;
+  std::function<void(const Violation&)> on_violation_;
+  std::function<void(const Event&)> on_fault_;
+
+  Cycle window_start_ = 0;
+  bool window_active_ = false;     // any event since window_start_
+  bool window_violating_ = false;  // any violation since window_start_
+  Cycle last_stall_any_ = 0;       // latest GlStall on any output
+  bool stalled_any_ = false;
+  std::int64_t live_ = 0;          // total inflight packets across flows
+  double jain_min_ = 1.0;
+  double jain_last_ = 1.0;
+
+  CounterId windows_total_, windows_ok_, windows_violating_,
+      windows_coalesced_, gb_windows_backlogged_, viol_gb_, viol_gl_,
+      viol_be_, gl_checked_, gl_skipped_;
+  GaugeId jain_gauge_, jain_min_gauge_;
+};
+
+}  // namespace ssq::obs

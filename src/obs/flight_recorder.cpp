@@ -1,0 +1,50 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace ssq::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1)) {}
+
+void FlightRecorder::on_event(const Event& e) {
+  ring_[head_] = e;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  if (size_ < ring_.size()) ++size_;
+  ++seen_;
+}
+
+std::vector<Event> FlightRecorder::events() const {
+  std::vector<Event> out;
+  out.reserve(size_);
+  // Oldest event sits at head_ once the ring has wrapped, at 0 before.
+  const std::size_t start = size_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::dump(std::ostream& os, std::string_view reason,
+                          Cycle now) const {
+  os << "{\"schema\":\"ssq.flight.v1\",\"reason\":" << json_quote(reason)
+     << ",\"cycle\":" << now << ",\"events\":" << size_
+     << ",\"dropped\":" << (seen_ - size_) << "}\n";
+  const std::size_t start = size_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    os << jsonl_event_line(ring_[(start + i) % ring_.size()]);
+  }
+}
+
+std::string FlightRecorder::dump_string(std::string_view reason,
+                                        Cycle now) const {
+  std::ostringstream os;
+  dump(os, reason, now);
+  return os.str();
+}
+
+}  // namespace ssq::obs

@@ -1,0 +1,54 @@
+// Flight recorder — a fixed-size ring of the most recent obs::Events that
+// can dump a bounded, self-contained JSONL incident snapshot on demand.
+//
+// The recorder is a plain TraceSink: attach it (usually via a TeeSink or
+// SwitchProbe::set_extra_sink) and it silently retains the last `capacity`
+// events with no allocation after construction. When something goes wrong —
+// a conformance violation fires, a fault is injected, or the differential
+// checker diverges — dump() writes one header line followed by the retained
+// events oldest-first, in the JsonlSink line schema, so every fuzz failure
+// or monitor alert ships with the grant/deliver history that led up to it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/trace.hpp"
+
+namespace ssq::obs {
+
+class FlightRecorder final : public TraceSink {
+ public:
+  /// `capacity` bounds both memory and dump size; it is clamped to >= 1.
+  explicit FlightRecorder(std::size_t capacity);
+
+  void on_event(const Event& e) override;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Events currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Total events observed since construction (dropped = seen - size).
+  [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<Event> events() const;
+
+  /// Writes the snapshot: one `ssq.flight.v1` header line (reason, cycle,
+  /// retained/dropped counts) then one JSONL line per retained event,
+  /// oldest first. Does not clear the ring — later triggers still dump.
+  void dump(std::ostream& os, std::string_view reason, Cycle now) const;
+  [[nodiscard]] std::string dump_string(std::string_view reason,
+                                        Cycle now) const;
+
+ private:
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  // next write slot
+  std::size_t size_ = 0;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace ssq::obs

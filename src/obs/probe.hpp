@@ -31,6 +31,20 @@ class SwitchProbe {
 
   void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
   [[nodiscard]] Tracer* tracer() const noexcept { return tracer_; }
+  /// Secondary event sink, bypassing the tracer and its event limit —
+  /// consumers that must see every event to stay correct (conformance
+  /// monitor, flight recorder; compose several with a TeeSink) attach here
+  /// so a --trace-limit can never starve them.
+  void set_extra_sink(TraceSink* sink) noexcept { extra_ = sink; }
+  [[nodiscard]] TraceSink* extra_sink() const noexcept { return extra_; }
+
+  /// Fast-forward notification from the switch: the clock jumped from
+  /// `from` to `to` across provably event-free cycles. Forwarded to the
+  /// extra sink only — never traced, so trace files stay byte-identical
+  /// across fast-forward on/off.
+  void clock_jump(Cycle from, Cycle to) {
+    if (extra_ != nullptr) extra_->on_clock_jump(from, to);
+  }
   [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
     return metrics_;
@@ -107,12 +121,14 @@ class SwitchProbe {
 
  private:
   void emit(const Event& e) {
+    if (extra_ != nullptr) extra_->on_event(e);
     if (tracer_ != nullptr) tracer_->emit(e);
   }
 
   std::uint32_t radix_;
   MetricsRegistry metrics_;
   Tracer* tracer_ = nullptr;
+  TraceSink* extra_ = nullptr;
   // Holds 0 or 1 series; a vector sidesteps RateSeries's lack of a default
   // constructor while keeping the disabled path allocation-free.
   std::vector<stats::RateSeries> delivered_series_;

@@ -139,7 +139,7 @@ void ChromeTraceSink::finish() {
 
 bool ChromeTraceSink::ok() const { return static_cast<bool>(os_); }
 
-void JsonlSink::on_event(const Event& e) {
+std::string jsonl_event_line(const Event& e) {
   std::string line;
   line.reserve(160);
   line += "{\"t\":";
@@ -149,8 +149,10 @@ void JsonlSink::on_event(const Event& e) {
   line += ',';
   append_payload(e, line);
   line += "}\n";
-  os_ << line;
+  return line;
 }
+
+void JsonlSink::on_event(const Event& e) { os_ << jsonl_event_line(e); }
 
 void JsonlSink::finish() { os_.flush(); }
 

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "obs/event.hpp"
@@ -27,6 +28,13 @@ class TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void on_event(const Event& e) = 0;
+  /// Idle-cycle fast-forward notification: the simulator clock jumped from
+  /// `from` to `to` with provably no events in between. NOT a trace event —
+  /// file sinks ignore it (traces stay byte-identical across fast-forward),
+  /// but window-based consumers (conformance monitor) use it to advance or
+  /// coalesce the skipped window boundaries instead of silently stretching
+  /// a window.
+  virtual void on_clock_jump(Cycle /*from*/, Cycle /*to*/) {}
   /// Flushes trailers (closing brackets, metadata). Idempotent.
   virtual void finish() {}
   /// False once the underlying stream has failed. File sinks report write
@@ -34,6 +42,10 @@ class TraceSink {
   /// the trace; callers should check after finish().
   [[nodiscard]] virtual bool ok() const { return true; }
 };
+
+/// Formats one event as the schema-stable JSONL line (with trailing
+/// newline) shared by JsonlSink and the flight recorder.
+[[nodiscard]] std::string jsonl_event_line(const Event& e);
 
 /// Chrome trace-event JSON. `radix` sizes the port tracks.
 class ChromeTraceSink final : public TraceSink {
@@ -73,6 +85,36 @@ class CollectSink final : public TraceSink {
 
  private:
   std::vector<Event> events_;
+};
+
+/// Fan-out to several sinks in registration order — the composition point
+/// for "file trace + conformance monitor + flight recorder" on the one
+/// probe attachment. Does not own the sinks.
+class TeeSink final : public TraceSink {
+ public:
+  TeeSink() = default;
+  void add(TraceSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+  void on_event(const Event& e) override {
+    for (TraceSink* s : sinks_) s->on_event(e);
+  }
+  void on_clock_jump(Cycle from, Cycle to) override {
+    for (TraceSink* s : sinks_) s->on_clock_jump(from, to);
+  }
+  void finish() override {
+    for (TraceSink* s : sinks_) s->finish();
+  }
+  [[nodiscard]] bool ok() const override {
+    for (const TraceSink* s : sinks_) {
+      if (!s->ok()) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return sinks_.size(); }
+
+ private:
+  std::vector<TraceSink*> sinks_;
 };
 
 class Tracer {

@@ -785,6 +785,7 @@ bool CrossbarSwitch::fast_forward_eligible() const noexcept {
 
 void CrossbarSwitch::fast_forward(Cycle end) {
   SSQ_EXPECT(fast_forward_eligible());
+  const Cycle from = now_;
   while (now_ < end && quiescent()) {
     // Next cycle any injector may act. Bernoulli/OnOff sources roll their
     // RNG every cycle past start and report `now_`; deterministic kinds
@@ -808,7 +809,7 @@ void CrossbarSwitch::fast_forward(Cycle end) {
       // Created at now_ — the next step() admits and arbitrates this same
       // cycle, skipping its own (already run) creation pass.
       create_pending_ = true;
-      return;
+      break;
     }
     // Nothing created: admission, transfer and arbitration are all no-ops
     // (no packets exist, SSVC outputs with zero requests touch nothing),
@@ -816,6 +817,10 @@ void CrossbarSwitch::fast_forward(Cycle end) {
     ++ff_idle_stepped_cycles_;
     ++now_;
   }
+  // Window-based probe consumers must see the jump (never traced — see
+  // SwitchProbe::clock_jump), or a skipped boundary would silently stretch
+  // their current window.
+  if (obs_ != nullptr && now_ != from) obs_->clock_jump(from, now_);
 }
 
 void CrossbarSwitch::run(Cycle cycles) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "qosmath/gl_bound.hpp"
+
 namespace ssq::sw {
 
 std::vector<obs::PortOccupancy> collect_occupancy(const CrossbarSwitch& sw) {
@@ -21,15 +23,156 @@ void run_sampled(CrossbarSwitch& sw, Cycle cycles,
   SSQ_EXPECT(sw.probe() != nullptr &&
              "run_sampled needs an attached probe to diff grant counters");
   const Cycle interval = sampler.interval();
-  while (cycles > 0) {
+  const Cycle end = sw.now() + cycles;
+  while (sw.now() < end) {
+    if (sw.fast_forward_eligible() && sw.quiescent()) {
+      // Jump as far as quiescence allows — not just to the next boundary —
+      // and emit the boundary samples the jump skipped. Quiescent cycles
+      // change no occupancy and no probe counter, so sampling each crossed
+      // boundary with the current state reproduces the no-fast-forward
+      // samples exactly.
+      const Cycle from = sw.now();
+      sw.fast_forward(end);
+      for (Cycle b = from + (interval - from % interval); b <= sw.now();
+           b += interval) {
+        sampler.sample(b, collect_occupancy(sw), *sw.probe());
+      }
+      if (sw.now() >= end) break;
+      continue;
+    }
     const Cycle to_boundary = interval - (sw.now() % interval);
-    const Cycle chunk = std::min(cycles, to_boundary);
+    const Cycle chunk = std::min(end - sw.now(), to_boundary);
     sw.run(chunk);
-    cycles -= chunk;
     if (sw.now() % interval == 0) {
       sampler.sample(sw.now(), collect_occupancy(sw), *sw.probe());
     }
   }
+}
+
+obs::ConformanceConfig make_conformance_config(
+    const SwitchConfig& config, const traffic::Workload& workload,
+    Cycle window) {
+  obs::ConformanceConfig cfg;
+  cfg.window = window;
+  cfg.arbitration_cycles = config.arbitration_cycles;
+  const std::uint32_t radix = config.radix;
+
+  // GB applicability mirrors the GL gate below: under SingleRequest an
+  // input raises one request per cycle, so two guaranteed flows sharing an
+  // input serialize *before* the output arbiter and neither can be held to
+  // its per-output reservation (Fig. 4's setup is one guaranteed flow per
+  // input). Judge a GB flow only when it is its input's sole guaranteed
+  // flow; BE neighbours are fine — they rank below GB in request selection.
+  const auto& flows = workload.flows();
+  cfg.flows.reserve(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto& f = flows[i];
+    obs::FlowReservation r;
+    r.src = f.src;
+    r.dst = f.dst;
+    r.cls = f.cls;
+    r.mean_len = static_cast<double>(f.mean_len());
+    // Packet chaining trades short-horizon fairness for arbitration
+    // amortisation: a chain yields to GL but not to GB, so another class
+    // can legitimately hold an output past a whole window. No per-window
+    // GB floor is guaranteed then — report-only.
+    if (f.cls == TrafficClass::GuaranteedBandwidth && !config.packet_chaining) {
+      bool judged = true;
+      for (std::size_t j = 0; j < flows.size(); ++j) {
+        if (j == i) continue;
+        // Guaranteed neighbour at the same input serializes with us.
+        if (flows[j].src == f.src &&
+            flows[j].cls != TrafficClass::BestEffort) {
+          judged = false;
+          break;
+        }
+        // GL outranks GB at the output, so GB's floor presumes the GL
+        // sharing this output is policed: a reservation must exist (the
+        // tracker is disabled without one) and policing must be armed.
+        if (flows[j].dst == f.dst &&
+            flows[j].cls == TrafficClass::GuaranteedLatency &&
+            (workload.gl_reservation_rate(f.dst) <= 0.0 ||
+             config.gl_policing == core::GlPolicing::None)) {
+          judged = false;
+          break;
+        }
+      }
+      if (judged) r.reserved_rate = f.reserved_rate;
+    }
+    cfg.flows.push_back(r);
+  }
+
+  // Eq. (1) applicability: the bound assumes a GL packet is head-of-line at
+  // its input the whole time it waits. Under SingleRequest allocation an
+  // input raises ONE request, and the GL request is only raised while the
+  // destination output is idle — so an input mixing GL with other classes
+  // (or spreading GL over several outputs) serializes its GL packets behind
+  // transfers Eq. (1) does not model. Judge only outputs whose GL senders
+  // are dedicated: every flow from those inputs is GL and aims at that one
+  // output (the configuration the gl_latency_bound bench validates).
+  std::vector<bool> dedicated(radix, true);
+  for (const auto& f : workload.flows()) {
+    if (f.cls != TrafficClass::GuaranteedLatency) continue;
+    for (const auto& g : workload.flows()) {
+      if (g.src != f.src) continue;
+      if (g.cls != TrafficClass::GuaranteedLatency || g.dst != f.dst) {
+        dedicated[f.dst] = false;
+        break;
+      }
+    }
+  }
+
+  cfg.gl_bound.assign(radix, 0.0);
+  for (OutputId o = 0; o < radix; ++o) {
+    if (workload.gl_reservation_rate(o) <= 0.0) continue;
+    if (!dedicated[o]) continue;
+    // Eq. (1)'s l_max is the channel-release hazard: the longest packet of
+    // ANY class headed to this output can hold the channel when a GL packet
+    // arrives (the gl_latency_bound bench uses the GB background length
+    // here). l_min is GL-only — b/l_min counts arbitrations among buffered
+    // GL packets.
+    std::uint32_t l_max = 0;
+    std::uint32_t l_min = ~0U;
+    std::vector<bool> inputs(radix, false);
+    std::uint32_t n_gl = 0;
+    for (const auto& f : workload.flows()) {
+      if (f.dst != o) continue;
+      l_max = std::max(l_max, f.len_max);
+      if (f.cls != TrafficClass::GuaranteedLatency) continue;
+      l_min = std::min(l_min, f.len_min);
+      if (!inputs[f.src]) {
+        inputs[f.src] = true;
+        ++n_gl;
+      }
+    }
+    if (n_gl == 0) {
+      // Reservation configured but no GL flow aims here yet: fall back to
+      // the reservation's nominal packet length and one potential sender.
+      const std::uint32_t len =
+          std::max(1U, workload.gl_reservation_packet_len(o));
+      l_max = std::max(l_max, len);
+      l_min = len;
+      n_gl = 1;
+    }
+    double bound = qosmath::gl_wait_bound({.l_max = l_max,
+                                           .l_min = l_min,
+                                           .n_gl = n_gl,
+                                           .buffer_flits =
+                                               config.buffers.gl_flits});
+    // The paper assumes one arbitration cycle per buffered packet; with
+    // arb_cycles = A each of the n_gl * b/l_min arbitrations (plus the
+    // channel-release one) costs A-1 extra cycles.
+    if (config.arbitration_cycles > 1) {
+      const double extra = static_cast<double>(config.arbitration_cycles - 1);
+      const double arbs = static_cast<double>(n_gl) *
+                              static_cast<double>(config.buffers.gl_flits) /
+                              static_cast<double>(l_min) +
+                          1.0;
+      bound += extra * arbs;
+    }
+    cfg.gl_bound[o] = bound;
+  }
+  return cfg;
 }
 
 }  // namespace ssq::sw

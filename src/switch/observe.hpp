@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "obs/conformance.hpp"
 #include "obs/snapshot.hpp"
 #include "switch/crossbar.hpp"
 
@@ -16,8 +17,23 @@ namespace ssq::sw {
 
 /// Steps `cycles` cycles, taking one sampler snapshot whenever the switch
 /// clock crosses a multiple of sampler.interval(). Requires an attached
-/// probe (the sampler diffs its per-output counters).
+/// probe (the sampler diffs its per-output counters). Fast-forward aware:
+/// a quiescent clock jump emits one snapshot per crossed boundary — with
+/// state provably unchanged by the jump, those samples are byte-identical
+/// to a --no-fast-forward run's — instead of capping the jump at one
+/// interval.
 void run_sampled(CrossbarSwitch& sw, Cycle cycles,
                  obs::SnapshotSampler& sampler);
+
+/// Builds the monitor configuration implied by a switch configuration and
+/// its workload: per-flow GB reservations and the per-output Eq. (1) GL
+/// wait bounds (qosmath sits above obs in the library order, so the bound
+/// values travel by config). l_max/l_min derive from the GL flows actually
+/// aimed at each output (falling back to the reservation's nominal packet
+/// length), N_GL,o counts distinct injecting inputs, and b is the GL
+/// buffer depth.
+[[nodiscard]] obs::ConformanceConfig make_conformance_config(
+    const SwitchConfig& config, const traffic::Workload& workload,
+    Cycle window = 2048);
 
 }  // namespace ssq::sw

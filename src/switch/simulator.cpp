@@ -16,11 +16,18 @@ ExperimentResult summarize(const CrossbarSwitch& sw) {
     s.reserved_rate = flows[f].reserved_rate;
     s.accepted_rate = sw.throughput().rate(f);
     const auto& lat = sw.latency().flow_summary(f);
+    const auto& lat_hist = sw.latency().flow_histogram(f);
     s.mean_latency = lat.mean();
-    s.p95_latency = sw.latency().flow_histogram(f).percentile(0.95);
+    s.p50_latency = lat_hist.percentile(0.50);
+    s.p95_latency = lat_hist.percentile(0.95);
+    s.p99_latency = lat_hist.percentile(0.99);
     s.max_latency = lat.count() ? lat.max() : 0.0;
     const auto& wt = sw.wait().flow_summary(f);
+    const auto& wt_hist = sw.wait().flow_histogram(f);
     s.mean_wait = wt.mean();
+    s.p50_wait = wt_hist.percentile(0.50);
+    s.p95_wait = wt_hist.percentile(0.95);
+    s.p99_wait = wt_hist.percentile(0.99);
     s.max_wait = wt.count() ? wt.max() : 0.0;
     s.delivered_packets = sw.delivered_packets(f);
     result.total_accepted_rate += s.accepted_rate;

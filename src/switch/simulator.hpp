@@ -23,9 +23,14 @@ struct FlowSummary {
   double offered_rate = 0.0;    // created flits / measured cycles
   double accepted_rate = 0.0;   // delivered flits / measured cycles
   double mean_latency = 0.0;    // cycles/packet
-  double p95_latency = 0.0;     // 95th percentile (histogram estimate)
+  double p50_latency = 0.0;     // percentiles are histogram estimates
+  double p95_latency = 0.0;
+  double p99_latency = 0.0;
   double max_latency = 0.0;
   double mean_wait = 0.0;       // grant - buffered
+  double p50_wait = 0.0;
+  double p95_wait = 0.0;
+  double p99_wait = 0.0;
   double max_wait = 0.0;
   std::uint64_t delivered_packets = 0;
 };

@@ -7,6 +7,8 @@
 //     8/16/32/64 on a hotspot + best-effort workload,
 //   * the same radix-64 point with the scalar arbitration kernel, so both
 //     kernels stay gated,
+//   * the radix-64 point again with a probe + QoS conformance monitor
+//     attached (the --monitor stepping cost),
 //   * a sparse (sub-10%-load, periodic-injection) radix-64 sweep with
 //     idle-cycle fast-forward on and off,
 //   * heap allocations per step at radix 64 (counted by the ssq_alloc_hook
@@ -41,10 +43,13 @@
 #include "check/differential.hpp"
 #include "check/scenario.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/conformance.hpp"
 #include "obs/json.hpp"
+#include "obs/probe.hpp"
 #include "sim/alloc_hook.hpp"
 #include "sim/error.hpp"
 #include "switch/crossbar.hpp"
+#include "switch/observe.hpp"
 #include "traffic/workload.hpp"
 
 namespace {
@@ -215,6 +220,24 @@ StepPoint measure_sparse(std::uint32_t radix, Cycle cycles,
   sw::SwitchConfig cfg = bench_config(radix, kernel);
   cfg.fast_forward = fast_forward;
   sw::CrossbarSwitch sim(cfg, sparse_workload(radix));
+  return timed_run(sim, radix, cycles);
+}
+
+/// Same stepping measurement with a probe + conformance monitor attached
+/// via the extra sink — the monitor-on cost the --monitor CLI flag pays.
+/// The gap vs the plain radix-N point is the monitored-stepping overhead;
+/// the plain point itself stays probe-free, so the detached fast path
+/// (one null-pointer branch per hook site) is what the gate holds to the
+/// baseline.
+StepPoint measure_monitored(std::uint32_t radix, Cycle cycles,
+                            core::ArbKernel kernel) {
+  sw::CrossbarSwitch sim(bench_config(radix, kernel),
+                         bench_workload(radix, /*stable=*/false));
+  obs::SwitchProbe probe(radix);
+  obs::ConformanceMonitor monitor(
+      sw::make_conformance_config(sim.config(), sim.workload(), 2048));
+  probe.set_extra_sink(&monitor);
+  sim.attach_probe(&probe);
   return timed_run(sim, radix, cycles);
 }
 
@@ -459,6 +482,13 @@ int main(int argc, char** argv) {
               << scalar64.ns_per_step << " ns/step)\n";
     metrics.emplace_back("cycles_per_sec_radix64_scalar",
                          scalar64.cycles_per_sec);
+
+    const StepPoint mon64 = measure_monitored(64, cycles, kernel);
+    std::cout << "radix 64 with conformance monitor: "
+              << static_cast<long>(mon64.cycles_per_sec) << " cycles/s ("
+              << mon64.ns_per_step << " ns/step)\n";
+    metrics.emplace_back("cycles_per_sec_radix64_monitor",
+                         mon64.cycles_per_sec);
 
     // Sparse sweep: ten periods' worth of cycles so the fast-forwarded run
     // is long enough to time. Same simulation either way — the golden-trace

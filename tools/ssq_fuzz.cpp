@@ -26,6 +26,9 @@
 #include "check/trace.hpp"
 #include "exec/thread_pool.hpp"
 #include "sim/error.hpp"
+#include "stats/ascii_plot.hpp"
+#include "stats/streaming.hpp"
+#include "stats/table.hpp"
 
 namespace {
 
@@ -53,10 +56,22 @@ Campaign:
 Checking:
   --no-circuit            skip the bit-level circuit arbitration leg
   --no-state              skip the deep per-cycle arbiter state comparison
+  --monitor               attach the online QoS conformance monitor to every
+                          scenario (GB share, GL Eq. (1) wait, BE fairness —
+                          see docs/OBSERVABILITY.md). A fault-free scenario
+                          with a GB or GL violation fails the campaign (kind
+                          qos_violation) and its flight-recorder dump lands
+                          next to the repro file
   --plant=BUG             plant a deliberate defect in the reference model
                           (self-test: the fuzzer must catch it). BUG is one
                           of gb_vtick_off_by_one, lrg_no_move_to_back,
                           gl_allowance_off_by_one, skip_epoch_wrap
+
+Telemetry:
+  --heartbeat=SECONDS     emit one ssq.fuzz.heartbeat.v1 JSONL progress line
+                          on stderr roughly every SECONDS of wall clock
+                          (scenarios/s, verdicts, violation totals); stdout
+                          stays byte-identical at any --jobs
 
 Failures:
   --repro-dir=DIR         write shrunk repro files here (default .)
@@ -106,12 +121,142 @@ void report_failure(const check::Scenario& s, const check::RunResult& r) {
             << r.detail << "\n";
 }
 
+/// A fault-free scenario must be conformant: the generator only emits
+/// admissible reservations, so a GB or GL violation under --monitor is a
+/// finding in its own right, even when every grant matched the reference.
+bool unexpected_violation(bool has_faults, const check::RunResult& r) {
+  return !r.failed && !has_faults && r.violations_gb + r.violations_gl > 0;
+}
+
+/// Writes `dump` (a bounded flight-recorder JSONL snapshot) next to a repro.
+void write_flight_dump(const std::string& path, const std::string& dump) {
+  if (dump.empty()) return;
+  std::ofstream out(path);
+  if (out) {
+    out << dump;
+    out.flush();
+  }
+  if (!out) {
+    std::cerr << "warning: could not write flight dump to '" << path << "'\n";
+  } else {
+    std::cout << "flight dump written to " << path << "\n";
+  }
+}
+
+/// Running campaign totals; per-scenario Streaming accumulators are merged
+/// in index order, so any --jobs value reports identical aggregates.
+struct CampaignStats {
+  stats::Streaming grants;
+  stats::Streaming delivered;
+  std::uint64_t violations_gb = 0;
+  std::uint64_t violations_gl = 0;
+  std::uint64_t violations_be = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t faulted = 0;
+
+  void absorb(bool has_faults, const check::RunResult& r) {
+    grants.add(static_cast<double>(r.grants_checked));
+    delivered.add(static_cast<double>(r.delivered));
+    violations_gb += r.violations_gb;
+    violations_gl += r.violations_gl;
+    violations_be += r.violations_be;
+    windows += r.windows_checked;
+    if (has_faults) ++faulted;
+  }
+};
+
+void emit_heartbeat(const CampaignStats& c, std::uint64_t ran,
+                    double elapsed_s) {
+  const double rate = elapsed_s > 0.0
+                          ? static_cast<double>(ran) / elapsed_s
+                          : 0.0;
+  std::fprintf(stderr,
+               "{\"schema\":\"ssq.fuzz.heartbeat.v1\",\"scenarios\":%llu,"
+               "\"elapsed_s\":%.3f,\"scenarios_per_sec\":%.2f,"
+               "\"grants\":%.0f,\"delivered\":%.0f,\"faulted\":%llu,"
+               "\"windows\":%llu,\"violations\":{\"gb\":%llu,\"gl\":%llu,"
+               "\"be\":%llu}}\n",
+               static_cast<unsigned long long>(ran), elapsed_s, rate,
+               c.grants.sum(), c.delivered.sum(),
+               static_cast<unsigned long long>(c.faulted),
+               static_cast<unsigned long long>(c.windows),
+               static_cast<unsigned long long>(c.violations_gb),
+               static_cast<unsigned long long>(c.violations_gl),
+               static_cast<unsigned long long>(c.violations_be));
+}
+
+/// Means of `y` over at most `buckets` equal index ranges (campaign-profile
+/// downsampling for the ascii plot).
+std::vector<double> bucket_means(const std::vector<double>& y,
+                                 std::size_t buckets) {
+  if (y.size() <= buckets) return y;
+  std::vector<double> out;
+  out.reserve(buckets);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t from = b * y.size() / buckets;
+    const std::size_t to = (b + 1) * y.size() / buckets;
+    double sum = 0.0;
+    for (std::size_t i = from; i < to; ++i) sum += y[i];
+    out.push_back(sum / static_cast<double>(to - from));
+  }
+  return out;
+}
+
+void render_campaign_summary(const CampaignStats& c, std::uint64_t ran,
+                             bool monitor,
+                             const std::vector<double>& grants_profile) {
+  stats::Table t("campaign conformance summary");
+  t.header({"metric", "total", "mean/scenario", "max"});
+  t.row()
+      .cell(std::string("grants_checked"))
+      .cell(static_cast<std::uint64_t>(c.grants.sum()))
+      .cell(c.grants.mean(), 1)
+      .cell(c.grants.count() ? c.grants.max() : 0.0, 0);
+  t.row()
+      .cell(std::string("packets_delivered"))
+      .cell(static_cast<std::uint64_t>(c.delivered.sum()))
+      .cell(c.delivered.mean(), 1)
+      .cell(c.delivered.count() ? c.delivered.max() : 0.0, 0);
+  if (monitor) {
+    const double denom = ran ? static_cast<double>(ran) : 1.0;
+    t.row()
+        .cell(std::string("windows_checked"))
+        .cell(c.windows)
+        .cell(static_cast<double>(c.windows) / denom, 1)
+        .cell(std::string("-"));
+    t.row()
+        .cell(std::string("violations_gb"))
+        .cell(c.violations_gb)
+        .cell(static_cast<double>(c.violations_gb) / denom, 3)
+        .cell(std::string("-"));
+    t.row()
+        .cell(std::string("violations_gl"))
+        .cell(c.violations_gl)
+        .cell(static_cast<double>(c.violations_gl) / denom, 3)
+        .cell(std::string("-"));
+    t.row()
+        .cell(std::string("violations_be"))
+        .cell(c.violations_be)
+        .cell(static_cast<double>(c.violations_be) / denom, 3)
+        .cell(std::string("-"));
+  }
+  t.render(std::cout, /*csv=*/false);
+  if (grants_profile.size() >= 2) {
+    stats::AsciiPlot plot("campaign profile: grants checked per scenario", 8);
+    plot.add_series("grants", bucket_means(grants_profile, 48), '*');
+    plot.x_labels("scenario 0",
+                  "scenario " + std::to_string(grants_profile.size() - 1));
+    plot.render(std::cout);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t scenarios = 200;
   std::uint64_t base_seed = 1;
   std::uint64_t time_budget_s = 0;
+  std::uint64_t heartbeat_s = 0;  // 0 = no heartbeat telemetry
   std::uint64_t jobs = 1;
   check::CheckOptions opts;
   bool do_shrink = true;
@@ -142,6 +287,12 @@ int main(int argc, char** argv) {
         opts.circuit = false;
       } else if (arg == "--no-state") {
         opts.state_compare = false;
+      } else if (arg == "--monitor") {
+        opts.monitor = true;
+        opts.flight_recorder = 256;
+      } else if (auto vh = opt_value(arg, "--heartbeat")) {
+        heartbeat_s = parse_u64(*vh, "--heartbeat");
+        if (heartbeat_s == 0) throw ConfigError("--heartbeat must be >= 1");
       } else if (auto v4 = opt_value(arg, "--plant")) {
         opts.bug = parse_bug(*v4);
       } else if (auto v5 = opt_value(arg, "--repro-dir")) {
@@ -202,12 +353,27 @@ int main(int argc, char** argv) {
       const check::RunResult r = check::run_scenario(s, opts);
       if (r.failed) {
         report_failure(s, r);
+        write_flight_dump(replay_path + ".flight.jsonl", r.flight_dump);
+        return 1;
+      }
+      if (unexpected_violation(s.has_faults(), r)) {
+        std::cout << "FAIL " << s.name << ": qos_violation (gb="
+                  << r.violations_gb << " gl=" << r.violations_gl
+                  << " over " << r.windows_checked
+                  << " windows, no faults injected)\n";
+        write_flight_dump(replay_path + ".flight.jsonl", r.flight_dump);
         return 1;
       }
       if (!quiet) {
         std::cout << "ok " << s.name << ": " << r.grants_checked
                   << " grants checked, " << r.delivered
-                  << " packets delivered\n";
+                  << " packets delivered";
+        if (opts.monitor) {
+          std::cout << ", " << r.windows_checked << " windows ("
+                    << r.violations_gb + r.violations_gl + r.violations_be
+                    << " violations)";
+        }
+        std::cout << "\n";
       }
       return 0;
     }
@@ -222,8 +388,9 @@ int main(int argc, char** argv) {
     exec::ThreadPool pool(static_cast<unsigned>(jobs));
     const std::uint64_t block = jobs <= 1 ? 1 : jobs * 4;
     std::uint64_t ran = 0;
-    std::uint64_t grants = 0;
-    std::uint64_t delivered = 0;
+    CampaignStats campaign;
+    std::vector<double> grants_profile;  // per-scenario, index order
+    auto last_heartbeat = t0;
     for (std::uint64_t start = 0; start < scenarios; start += block) {
       if (time_budget_s != 0) {
         const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
@@ -241,6 +408,7 @@ int main(int argc, char** argv) {
       const std::uint64_t count = std::min(block, scenarios - start);
       struct Outcome {
         check::RunResult result;
+        bool has_faults = false;
         std::string line;  // buffered per-scenario "ok" report
       };
       std::vector<Outcome> outcomes = exec::run_batch<Outcome>(
@@ -248,6 +416,7 @@ int main(int argc, char** argv) {
             const std::uint64_t i = start + k;
             const check::Scenario s = check::generate_scenario(i, base_seed);
             Outcome o;
+            o.has_faults = s.has_faults();
             o.result = check::run_scenario(s, opts);
             if (!o.result.failed && !quiet) {
               std::ostringstream os;
@@ -262,8 +431,38 @@ int main(int argc, char** argv) {
         const std::uint64_t i = start + k;
         const check::RunResult& r = outcomes[k].result;
         ++ran;
-        grants += r.grants_checked;
-        delivered += r.delivered;
+        campaign.absorb(outcomes[k].has_faults, r);
+        grants_profile.push_back(static_cast<double>(r.grants_checked));
+        if (unexpected_violation(outcomes[k].has_faults, r)) {
+          // A conformance finding, not a divergence: the differential
+          // oracle passed, so the shrinker (whose predicate is "run_scenario
+          // fails") cannot reproduce it — keep the scenario as generated.
+          const check::Scenario s = check::generate_scenario(i, base_seed);
+          std::cout << "FAIL " << s.name << ": qos_violation (gb="
+                    << r.violations_gb << " gl=" << r.violations_gl
+                    << " over " << r.windows_checked
+                    << " windows, no faults injected)\n";
+          const std::string stem = repro_dir + "/repro-" +
+                                   std::to_string(base_seed) + "-" +
+                                   std::to_string(i);
+          std::error_code ec;  // best-effort; the open below reports failure
+          std::filesystem::create_directories(repro_dir, ec);
+          std::ofstream out(stem + ".scenario");
+          if (out) {
+            check::write_scenario(out, s);
+            out.flush();
+          }
+          if (!out) {
+            std::cerr << "warning: could not write repro to '" << stem
+                      << ".scenario'\n";
+          } else {
+            std::cout << "repro written to " << stem << ".scenario (replay: "
+                      << "ssq_fuzz --monitor --replay=" << stem
+                      << ".scenario)\n";
+          }
+          write_flight_dump(stem + ".flight.jsonl", r.flight_dump);
+          return 1;
+        }
         if (!r.failed) {
           if (!quiet) std::cout << outcomes[k].line;
           continue;
@@ -299,15 +498,44 @@ int main(int argc, char** argv) {
           std::cout << "repro written to " << path
                     << " (replay: ssq_fuzz --replay=" << path << ")\n";
         }
+        // Incident snapshot from the *original* failing run (the shrunk
+        // repro re-fails on replay and produces its own).
+        write_flight_dump(path + ".flight.jsonl", r.flight_dump);
         return 1;
+      }
+      if (heartbeat_s != 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (std::chrono::duration_cast<std::chrono::seconds>(
+                now - last_heartbeat)
+                .count() >= static_cast<long>(heartbeat_s)) {
+          emit_heartbeat(campaign, ran,
+                         std::chrono::duration<double>(now - t0).count());
+          last_heartbeat = now;
+        }
       }
     }
     const auto total_s = std::chrono::duration_cast<std::chrono::milliseconds>(
                              std::chrono::steady_clock::now() - t0)
                              .count();
-    std::cout << "all " << ran << " scenarios passed: " << grants
-              << " grants checked, " << delivered << " packets delivered, "
-              << static_cast<double>(total_s) / 1000.0 << "s\n";
+    if (heartbeat_s != 0) {
+      emit_heartbeat(campaign, ran,
+                     static_cast<double>(total_s) / 1000.0);
+    }
+    if (!quiet) {
+      render_campaign_summary(campaign, ran, opts.monitor, grants_profile);
+    }
+    std::cout << "all " << ran << " scenarios passed: "
+              << static_cast<std::uint64_t>(campaign.grants.sum())
+              << " grants checked, "
+              << static_cast<std::uint64_t>(campaign.delivered.sum())
+              << " packets delivered";
+    if (opts.monitor) {
+      std::cout << ", " << campaign.windows << " windows ("
+                << campaign.violations_gb + campaign.violations_gl +
+                       campaign.violations_be
+                << " violations)";
+    }
+    std::cout << ", " << static_cast<double>(total_s) / 1000.0 << "s\n";
     return 0;
   } catch (const ConfigError& e) {
     std::cerr << "ssq_fuzz: " << e.what() << "\n";

@@ -22,6 +22,8 @@
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "fault/scrubber.hpp"
+#include "obs/conformance.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/probe.hpp"
 #include "obs/snapshot.hpp"
@@ -83,6 +85,16 @@ Observability (see docs/OBSERVABILITY.md):
   --trace-limit=N         stop recording after N events (default unbounded)
   --metrics=FILE          metrics-registry dump + periodic snapshots (JSON)
   --metrics-interval=N    snapshot sampling period in cycles (default 5000)
+  --monitor               attach the online QoS conformance monitor: GB
+                          share vs reservation, GL wait vs the Eq. (1)
+                          bound, BE Jain fairness, judged per window;
+                          verdicts go to stdout, --metrics and --json
+  --monitor-window=N      conformance window in cycles (default 2048)
+  --monitor-gb-tol=R      GB share tolerance in [0,1] (default 0.5)
+  --flight-recorder=N     keep a ring of the last N events and dump it as
+                          JSONL when a violation or fault fires (implies
+                          --monitor)
+  --flight-dump=FILE      flight-recorder dump path (default flight.jsonl)
 
 Fault injection and recovery (see docs/FAULTS.md; SSVC mode only):
   --fault-seed=N          fault-plan RNG seed (default 0x5eed); equal seeds
@@ -197,7 +209,8 @@ void write_json_summary(std::ostream& os, const std::string& workload_path,
                         const std::string& mode_name, Cycle warmup,
                         const sw::CrossbarSwitch& sim,
                         const sw::ExperimentResult& r,
-                        const PerfSummary& perf) {
+                        const PerfSummary& perf,
+                        const obs::ConformanceMonitor* monitor) {
   const auto& cfg = sim.config();
   os << "{\"schema\":\"ssq.run.v1\",\"workload\":"
      << obs::json_quote(workload_path) << ",\"mode\":"
@@ -220,9 +233,14 @@ void write_json_summary(std::ostream& os, const std::string& workload_path,
        << ",\"offered_rate\":" << obs::json_number(f.offered_rate)
        << ",\"accepted_rate\":" << obs::json_number(f.accepted_rate)
        << ",\"mean_latency\":" << obs::json_number(f.mean_latency)
+       << ",\"p50_latency\":" << obs::json_number(f.p50_latency)
        << ",\"p95_latency\":" << obs::json_number(f.p95_latency)
+       << ",\"p99_latency\":" << obs::json_number(f.p99_latency)
        << ",\"max_latency\":" << obs::json_number(f.max_latency)
        << ",\"mean_wait\":" << obs::json_number(f.mean_wait)
+       << ",\"p50_wait\":" << obs::json_number(f.p50_wait)
+       << ",\"p95_wait\":" << obs::json_number(f.p95_wait)
+       << ",\"p99_wait\":" << obs::json_number(f.p99_wait)
        << ",\"max_wait\":" << obs::json_number(f.max_wait)
        << ",\"delivered_packets\":" << f.delivered_packets
        << ",\"max_source_backlog\":" << sim.max_source_backlog(f.flow)
@@ -245,7 +263,12 @@ void write_json_summary(std::ostream& os, const std::string& workload_path,
        << port.peak_gb_occupancy() << ",\"peak_gl_flits\":"
        << port.peak_gl_occupancy() << "}";
   }
-  os << "],\"wasted_flits\":" << sim.wasted_flits() << "}\n";
+  os << "],\"wasted_flits\":" << sim.wasted_flits();
+  if (monitor != nullptr) {
+    os << ",\"conformance\":";
+    monitor->write_json(os);
+  }
+  os << "}\n";
 }
 
 int run(int argc, char** argv) {
@@ -264,6 +287,11 @@ int run(int argc, char** argv) {
   std::string metrics_path;
   Cycle metrics_interval = 5000;
   std::string json_path;
+  bool monitor_on = false;
+  Cycle monitor_window = 2048;
+  double monitor_gb_tol = -1.0;  // < 0 = monitor default
+  std::size_t flight_capacity = 0;
+  std::string flight_path = "flight.jsonl";
   fault::FaultPlan plan;
   Cycle scrub_interval = 0;  // 0 = scrubber off
 
@@ -353,6 +381,23 @@ int run(int argc, char** argv) {
       if (metrics_interval == 0) {
         throw ssq::ConfigError("--metrics-interval must be >= 1");
       }
+    } else if (arg == "--monitor") {
+      monitor_on = true;
+    } else if (auto vmw = opt_value(arg, "--monitor-window")) {
+      monitor_window = parse_uint<Cycle>(*vmw, "--monitor-window");
+      if (monitor_window == 0) {
+        throw ssq::ConfigError("--monitor-window must be >= 1");
+      }
+    } else if (auto vmt = opt_value(arg, "--monitor-gb-tol")) {
+      monitor_gb_tol = parse_rate(*vmt, "--monitor-gb-tol");
+    } else if (auto vfr = opt_value(arg, "--flight-recorder")) {
+      flight_capacity = parse_uint<std::size_t>(*vfr, "--flight-recorder");
+      if (flight_capacity == 0) {
+        throw ssq::ConfigError("--flight-recorder must be >= 1");
+      }
+    } else if (auto vfd = opt_value(arg, "--flight-dump")) {
+      flight_path = *vfd;
+      if (flight_path.empty()) usage(argv[0]);
     } else if (auto v17 = opt_value(arg, "--json")) {
       json_path = *v17;
       if (json_path.empty()) usage(argv[0]);
@@ -455,15 +500,23 @@ int run(int argc, char** argv) {
     sim.attach_scrubber(scrubber.get());
   }
 
+  // A flight recorder is only ever dumped by monitor triggers.
+  if (flight_capacity > 0) monitor_on = true;
+
   // Observability: one probe feeds the tracer, the metrics registry and the
   // snapshot sampler. With no sink flags nothing is attached and the hot
   // path keeps its null-probe fast path.
-  const bool want_obs = !trace_path.empty() || !metrics_path.empty();
+  const bool want_obs =
+      !trace_path.empty() || !metrics_path.empty() || monitor_on;
   std::unique_ptr<obs::SwitchProbe> probe;
   std::ofstream trace_os;
   std::unique_ptr<obs::TraceSink> trace_sink;
   std::unique_ptr<obs::Tracer> tracer;
   std::unique_ptr<obs::SnapshotSampler> sampler;
+  std::unique_ptr<obs::ConformanceMonitor> monitor;
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  obs::TeeSink tee;
+  bool flight_written = false;
   if (want_obs) {
     probe = std::make_unique<obs::SwitchProbe>(
         radix, metrics_path.empty() ? 0 : metrics_interval);
@@ -483,6 +536,37 @@ int run(int argc, char** argv) {
     if (!metrics_path.empty()) {
       sampler = std::make_unique<obs::SnapshotSampler>(radix,
                                                        metrics_interval);
+    }
+    if (monitor_on) {
+      // The recorder joins the tee *before* the monitor so the ring already
+      // holds the triggering event when a violation callback dumps it.
+      if (flight_capacity > 0) {
+        recorder = std::make_unique<obs::FlightRecorder>(flight_capacity);
+        tee.add(recorder.get());
+      }
+      auto mon_cfg = sw::make_conformance_config(config, sim.workload(),
+                                                 monitor_window);
+      if (monitor_gb_tol >= 0.0) mon_cfg.gb_tolerance = monitor_gb_tol;
+      monitor = std::make_unique<obs::ConformanceMonitor>(std::move(mon_cfg));
+      if (recorder) {
+        const auto dump_once = [&](std::string_view reason, Cycle cycle) {
+          if (flight_written) return;
+          flight_written = true;
+          auto os = open_or_die(flight_path);
+          recorder->dump(os, reason, cycle);
+          check_write(os, flight_path);
+        };
+        monitor->set_on_violation([&, dump_once](const obs::Violation& v) {
+          dump_once(std::string("violation:") +
+                        std::string(obs::to_string(v.kind)),
+                    v.cycle);
+        });
+        monitor->set_on_fault([&, dump_once](const obs::Event& e) {
+          dump_once("fault", e.cycle);
+        });
+      }
+      tee.add(monitor.get());
+      probe->set_extra_sink(&tee);
     }
     sim.attach_probe(probe.get());
   }
@@ -517,6 +601,10 @@ int run(int argc, char** argv) {
                 measure_wall_s
           : 0.0;
   perf.rss_bytes = peak_rss_bytes();
+  if (monitor) {
+    monitor->finalize(sim.now());
+    probe->metrics().merge(monitor->metrics());
+  }
   auto r = sw::summarize(sim);
   for (FlowId f = 0; f < sim.workload().num_flows(); ++f) {
     const auto created = sim.created_packets(f) - created_at_open[f];
@@ -572,6 +660,13 @@ int run(int argc, char** argv) {
               << " cycles/s over " << repeat << " repeat(s), peak RSS "
               << perf.rss_bytes / 1024 << " KiB\n";
   }
+  if (monitor && !csv) {
+    monitor->write_summary(std::cout);
+    if (flight_written) {
+      std::cout << "flight recorder: dumped " << recorder->size()
+                << " events to " << flight_path << "\n";
+    }
+  }
   if (!csv && (injector || scrubber)) {
     std::cout << "faults:";
     if (injector) std::cout << " " << injector->log().size() << " injected";
@@ -611,7 +706,8 @@ int run(int argc, char** argv) {
   }
   if (!json_path.empty()) {
     auto os = open_or_die(json_path);
-    write_json_summary(os, workload_path, mode_name, warmup, sim, r, perf);
+    write_json_summary(os, workload_path, mode_name, warmup, sim, r, perf,
+                       monitor.get());
     check_write(os, json_path);
     if (!csv) std::cout << "summary: " << json_path << "\n";
   }
