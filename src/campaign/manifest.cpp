@@ -1,0 +1,223 @@
+#include "campaign/manifest.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "sim/atomic_file.hpp"
+#include "sim/error.hpp"
+
+namespace ssq::campaign {
+
+namespace fs = std::filesystem;
+
+GridPoint parse_grid_point(const std::string& label) {
+  GridPoint p;
+  p.label = label;
+  std::stringstream ss(label);
+  std::string tok;
+  if (label.empty()) throw ConfigError("empty grid label");
+  while (std::getline(ss, tok, '+')) {
+    if (tok == "default") {
+      // no-op: the plain differential configuration
+    } else if (tok == "monitor") {
+      p.opts.monitor = true;
+      p.opts.flight_recorder = 256;
+    } else if (tok == "no-circuit") {
+      p.opts.circuit = false;
+    } else if (tok == "no-state") {
+      p.opts.state_compare = false;
+    } else if (tok == "scalar") {
+      p.kernel = core::ArbKernel::Scalar;
+    } else {
+      throw ConfigError("unknown grid token '" + tok + "' in '" + label +
+                        "' (expected default, monitor, no-circuit, no-state "
+                        "or scalar, joined with '+')");
+    }
+  }
+  return p;
+}
+
+std::uint64_t Manifest::shard_begin(std::uint64_t k) const noexcept {
+  const std::uint64_t total = total_units();
+  const std::uint64_t per = (total + shards - 1) / shards;  // ceil
+  return std::min(k * per, total);
+}
+
+std::uint64_t Manifest::shard_end(std::uint64_t k) const noexcept {
+  return shard_begin(k + 1);
+}
+
+const Plant* Manifest::planted_at(std::uint64_t j) const noexcept {
+  for (const Plant& p : planted) {
+    if (p.index == j) return &p;
+  }
+  return nullptr;
+}
+
+void Manifest::validate() const {
+  detail::config_check(scenarios > 0, "campaign: scenarios must be positive");
+  detail::config_check(shards > 0, "campaign: shards must be positive");
+  detail::config_check(shards <= 100000, "campaign: shards too large (max 100000)");
+  detail::config_check(!grid.empty(), "campaign: grid must not be empty");
+  detail::config_check(max_attempts > 0,
+                       "campaign: max-attempts must be positive");
+  detail::config_check(scenario_timeout_ms >= 100,
+                       "campaign: scenario-timeout-ms must be >= 100");
+  for (const GridPoint& g : grid) {
+    (void)parse_grid_point(g.label);  // label must round-trip
+  }
+  for (const Plant& p : planted) {
+    detail::config_check(p.index < total_units(),
+                         "campaign: planted index out of range");
+  }
+}
+
+std::string Manifest::serialize() const {
+  std::string out = "{\"schema\":\"ssq.campaign.manifest.v1\"";
+  out += ",\"base_seed\":" + std::to_string(base_seed);
+  out += ",\"scenarios\":" + std::to_string(scenarios);
+  out += ",\"shards\":" + std::to_string(shards);
+  out += ",\"grid\":[";
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (i) out += ',';
+    out += obs::json_quote(grid[i].label);
+  }
+  out += "],\"max_attempts\":" + std::to_string(max_attempts);
+  out += ",\"scenario_timeout_ms\":" + std::to_string(scenario_timeout_ms);
+  out += ",\"throttle_ms\":" + std::to_string(throttle_ms);
+  out += ",\"planted\":[";
+  for (std::size_t i = 0; i < planted.size(); ++i) {
+    if (i) out += ',';
+    out += std::string("{\"kind\":\"") +
+           (planted[i].kind == Plant::Kind::Hang ? "hang" : "crash") +
+           "\",\"index\":" + std::to_string(planted[i].index) + "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+namespace {
+
+/// Extracts the integer value of `"key":N` from our own serialised form.
+std::uint64_t find_u64(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) {
+    throw ConfigError("manifest: missing field '" + key + "'");
+  }
+  const char* start = text.c_str() + at + needle.size();
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(start, &end, 10);
+  if (end == start) {
+    throw ConfigError("manifest: field '" + key + "' is not an integer");
+  }
+  return v;
+}
+
+/// Extracts the `"key":[...]` array body (between the brackets).
+std::string find_array(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":[";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) {
+    throw ConfigError("manifest: missing field '" + key + "'");
+  }
+  const std::size_t open = at + needle.size();
+  const std::size_t close = text.find(']', open);
+  if (close == std::string::npos) {
+    throw ConfigError("manifest: unterminated array '" + key + "'");
+  }
+  return text.substr(open, close - open);
+}
+
+}  // namespace
+
+Manifest parse_manifest(const std::string& text) {
+  if (text.find("\"schema\":\"ssq.campaign.manifest.v1\"") ==
+      std::string::npos) {
+    throw ConfigError("manifest: missing or unknown schema "
+                      "(expected ssq.campaign.manifest.v1)");
+  }
+  Manifest m;
+  m.base_seed = find_u64(text, "base_seed");
+  m.scenarios = find_u64(text, "scenarios");
+  m.shards = find_u64(text, "shards");
+  m.max_attempts = static_cast<std::uint32_t>(find_u64(text, "max_attempts"));
+  m.scenario_timeout_ms = find_u64(text, "scenario_timeout_ms");
+  m.throttle_ms = find_u64(text, "throttle_ms");
+  m.grid.clear();
+  const std::string grid = find_array(text, "grid");
+  std::size_t pos = 0;
+  while ((pos = grid.find('"', pos)) != std::string::npos) {
+    const std::size_t end = grid.find('"', pos + 1);
+    if (end == std::string::npos) {
+      throw ConfigError("manifest: unterminated grid label");
+    }
+    m.grid.push_back(parse_grid_point(grid.substr(pos + 1, end - pos - 1)));
+    pos = end + 1;
+  }
+  const std::string planted = find_array(text, "planted");
+  pos = 0;
+  while ((pos = planted.find("{\"kind\":\"", pos)) != std::string::npos) {
+    const std::size_t k0 = pos + 9;
+    const std::size_t k1 = planted.find('"', k0);
+    if (k1 == std::string::npos) {
+      throw ConfigError("manifest: unterminated planted kind");
+    }
+    const std::string kind = planted.substr(k0, k1 - k0);
+    Plant p;
+    if (kind == "hang") {
+      p.kind = Plant::Kind::Hang;
+    } else if (kind == "crash") {
+      p.kind = Plant::Kind::Crash;
+    } else {
+      throw ConfigError("manifest: unknown planted kind '" + kind + "'");
+    }
+    const std::string idx_key = "\"index\":";
+    const std::size_t i0 = planted.find(idx_key, k1);
+    if (i0 == std::string::npos) {
+      throw ConfigError("manifest: planted entry missing index");
+    }
+    p.index = std::strtoull(planted.c_str() + i0 + idx_key.size(), nullptr, 10);
+    m.planted.push_back(p);
+    pos = k1 + 1;
+  }
+  m.validate();
+  return m;
+}
+
+Manifest load_manifest(const std::string& dir) {
+  const fs::path path = fs::path(dir) / "manifest.json";
+  std::ifstream is(path);
+  if (!is) {
+    throw ConfigError("campaign: cannot open '" + path.string() +
+                      "' — not a campaign directory? (create one with --new)");
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+  return parse_manifest(buf.str());
+}
+
+void init_campaign_dir(const std::string& dir, const Manifest& m) {
+  m.validate();
+  const fs::path root(dir);
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) {
+    throw ConfigError("campaign: cannot create directory '" + dir +
+                      "': " + ec.message());
+  }
+  const fs::path path = root / "manifest.json";
+  if (fs::exists(path)) {
+    throw ConfigError("campaign: '" + path.string() +
+                      "' already exists (resume it with --resume, or pick a "
+                      "fresh directory)");
+  }
+  if (!write_file_atomic(path.string(), m.serialize())) {
+    throw ConfigError("campaign: cannot write '" + path.string() + "'");
+  }
+}
+
+}  // namespace ssq::campaign

@@ -1,0 +1,67 @@
+// Campaign service: the supervised, crash-safe execution layer.
+//
+// One supervisor process fork/execs N worker processes (re-invocations of
+// the same binary in --worker mode) against a shared campaign directory and
+// babysits them:
+//   * liveness — each worker beats a heartbeat file before every unit; a
+//     worker silent for longer than the manifest's scenario timeout is
+//     presumed wedged, SIGKILLed, and restarted (the journal turns the
+//     orphaned start-record into a retry, and retries into quarantine);
+//   * crashes — a worker that dies (SIGSEGV, abort, OOM-kill) is restarted
+//     with exponential per-slot backoff, against a global restart budget so
+//     a systematically-poisoned campaign fails loudly instead of looping;
+//   * shutdown — SIGINT/SIGTERM drain gracefully: workers finish their
+//     in-flight unit, flush the journal, and exit; the supervisor then
+//     writes a partial report marked resumable:true;
+//   * completion — when every shard carries its done marker, shard journals
+//     are merged into report.json (deterministic) + execution.json
+//     (history) via atomic rename.
+//
+// Workers set PR_SET_PDEATHSIG so a kill -9 of the supervisor takes the
+// whole tree down — exactly the crash `--resume` is then tested against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "campaign/manifest.hpp"
+#include "campaign/report.hpp"
+
+namespace ssq::campaign {
+
+struct ServiceOptions {
+  unsigned workers = 1;
+  /// Abnormal worker exits tolerated campaign-wide before giving up.
+  std::uint64_t max_restarts = 64;
+  std::uint64_t backoff_base_ms = 200;
+  std::uint64_t backoff_cap_ms = 5000;
+  /// Absolute path of this binary, for re-exec'ing workers.
+  std::string exe_path;
+  bool quiet = false;
+};
+
+/// Exit codes shared by the supervisor and the CLI.
+inline constexpr int kExitOk = 0;           // complete, no failed scenarios
+inline constexpr int kExitFailures = 1;     // complete, >=1 failed verdict
+inline constexpr int kExitUsage = 2;        // bad flags / config
+inline constexpr int kExitResumable = 3;    // drained or gave up; --resume
+inline constexpr int kExitWorkerError = 4;  // internal: worker I/O failure
+
+/// Runs the campaign in `dir` to completion (or drain/give-up) and writes
+/// the merged reports. Returns one of the kExit* codes.
+int supervise(const std::string& dir, const Manifest& m,
+              const ServiceOptions& opts);
+
+/// Worker-mode entry point (internal, spawned by supervise): claims and
+/// runs shards until none are claimable or a drain signal arrives.
+int run_worker_loop(const std::string& dir, unsigned worker_id);
+
+/// Merges whatever the journals prove and writes report.json +
+/// execution.json (both atomic). Returns the merged report.
+Report write_reports(const std::string& dir, const Manifest& m,
+                     const ExecutionStats& exec);
+
+/// Prints shard-by-shard progress for `dir` (the --status command).
+void print_status(std::ostream& os, const std::string& dir, const Manifest& m);
+
+}  // namespace ssq::campaign

@@ -1,0 +1,49 @@
+// Crash-safe whole-file writes: write-tmp + fsync + rename.
+//
+// A process that dies (or a disk that fills) mid-write must never leave a
+// torn half-file where a reader expects a complete one — a truncated repro
+// or report is worse than none, because it parses as a *different* artifact.
+// write_file_atomic stages the content in a sibling temp file (same
+// directory, so the final rename(2) is atomic on POSIX), flushes it to disk,
+// and renames it over the destination. Readers therefore observe either the
+// old content or the complete new content, never a prefix.
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include <unistd.h>
+
+namespace ssq {
+
+/// Atomically replaces `path` with `content`. Returns true on success; on
+/// failure the destination is untouched and the temp file is removed.
+/// `noexcept` so callers on error-reporting paths (signal drains, failure
+/// handlers) can use it without a second layer of failure handling.
+inline bool write_file_atomic(const std::string& path,
+                              std::string_view content) noexcept {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = content.empty() ||
+            std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  ok = ok && std::fflush(f) == 0;
+  // fsync before rename: otherwise a power loss can replace the old file
+  // with a *zero-length* new one (the rename can hit disk before the data).
+  ok = ok && ::fsync(::fileno(f)) == 0;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ssq

@@ -1,0 +1,87 @@
+#!/bin/sh
+# Process-level durability test for ssq_campaign (see docs/CAMPAIGN.md):
+#
+#   1. run a reference campaign to completion;
+#   2. run the same campaign throttled, SIGKILL the supervisor once at least
+#      three verdicts are journaled (workers die with it via PDEATHSIG);
+#   3. --resume must finish only the unfinished units — every unit ends with
+#      exactly one done record — and produce a report.json byte-identical to
+#      the reference (cmp, not jq: byte equality IS the claim);
+#   4. separately, SIGTERM must drain gracefully: exit 3, a partial report
+#      marked resumable, and a clean resume afterwards.
+#
+# Usage: campaign_crash_test.sh <path-to-ssq_campaign>
+set -eu
+
+BIN=$1
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/ssq_campaign_crash.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+SCENARIOS=12
+SHARDS=4
+TOTAL=$SCENARIOS  # one grid point
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+done_records() {
+  cat "$1"/shard-*.ckpt.jsonl 2>/dev/null | grep -c '"t":"d"' || true
+}
+
+# --- reference run ----------------------------------------------------------
+"$BIN" --new="$TMP/ref" --scenarios=$SCENARIOS --shards=$SHARDS --quiet \
+  || fail "reference campaign exited $?"
+[ "$(done_records "$TMP/ref")" -eq "$TOTAL" ] \
+  || fail "reference campaign did not finish all $TOTAL units"
+
+# --- kill -9 mid-campaign, then resume --------------------------------------
+"$BIN" --new="$TMP/crash" --scenarios=$SCENARIOS --shards=$SHARDS \
+  --throttle-ms=40 --quiet &
+SUP=$!
+i=0
+while [ "$(done_records "$TMP/crash")" -lt 3 ]; do
+  i=$((i + 1))
+  [ "$i" -gt 600 ] && fail "timed out waiting for the campaign to make progress"
+  sleep 0.05
+done
+kill -9 "$SUP" 2>/dev/null || true
+wait "$SUP" 2>/dev/null || true
+sleep 0.2  # let PDEATHSIG reap the workers
+
+SURVIVED=$(done_records "$TMP/crash")
+[ "$SURVIVED" -lt "$TOTAL" ] \
+  || fail "campaign finished before the kill landed; nothing was tested"
+
+"$BIN" --resume="$TMP/crash" --quiet || fail "--resume exited $?"
+
+# Exactly one done record per unit: finished units were skipped, not re-run.
+AFTER=$(done_records "$TMP/crash")
+[ "$AFTER" -eq "$TOTAL" ] \
+  || fail "expected $TOTAL done records after resume, got $AFTER (finished units re-ran or work was lost)"
+
+cmp "$TMP/ref/report.json" "$TMP/crash/report.json" \
+  || fail "resumed report.json differs from the uninterrupted reference"
+
+# --- SIGTERM graceful drain, then resume ------------------------------------
+"$BIN" --new="$TMP/drain" --scenarios=$SCENARIOS --shards=$SHARDS \
+  --throttle-ms=40 --quiet &
+SUP=$!
+i=0
+while [ "$(done_records "$TMP/drain")" -lt 2 ]; do
+  i=$((i + 1))
+  [ "$i" -gt 600 ] && fail "timed out waiting for the drain campaign"
+  sleep 0.05
+done
+kill -TERM "$SUP" 2>/dev/null || true
+set +e
+wait "$SUP"
+CODE=$?
+set -e
+[ "$CODE" -eq 3 ] || fail "drained supervisor exited $CODE, expected 3 (resumable)"
+grep -q '"resumable":true' "$TMP/drain/report.json" \
+  || fail "drained report.json not marked resumable"
+
+"$BIN" --resume="$TMP/drain" --quiet || fail "post-drain --resume exited $?"
+cmp "$TMP/ref/report.json" "$TMP/drain/report.json" \
+  || fail "post-drain report.json differs from the uninterrupted reference"
+
+echo "ok: kill -9 survived with $SURVIVED/$TOTAL units; resume and drain both byte-identical"

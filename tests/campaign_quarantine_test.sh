@@ -1,0 +1,54 @@
+#!/bin/sh
+# Watchdog + quarantine teeth for ssq_campaign (see docs/CAMPAIGN.md): a
+# planted hang must be caught by the heartbeat watchdog, retried with
+# backoff, and quarantined as a poisoned-*.scenario repro — and the campaign
+# must still complete with exit 0 and an explicit quarantine count. A planted
+# crash exercises the supervisor's restart path the same way.
+#
+# Usage: campaign_quarantine_test.sh <path-to-ssq_campaign>
+set -eu
+
+BIN=$1
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/ssq_campaign_quar.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# --- planted hang: watchdog -> retry -> quarantine --------------------------
+set +e
+"$BIN" --new="$TMP/hang" --scenarios=6 --shards=2 --seed=1 \
+  --plant-hang=2 --scenario-timeout-ms=400 --max-attempts=2 --backoff-ms=100 \
+  --quiet
+CODE=$?
+set -e
+[ "$CODE" -eq 0 ] || fail "hang campaign exited $CODE, expected 0 (a poisoned input must not fail the run)"
+
+grep -q '"quarantined":1' "$TMP/hang/report.json" \
+  || fail "report.json does not count exactly one quarantined unit"
+grep -q '"kind":"hang"' "$TMP/hang/report.json" \
+  || fail "quarantine incident does not carry reason 'hang'"
+[ -f "$TMP/hang/poisoned-1-2.scenario" ] \
+  || fail "poisoned repro file missing"
+grep -q '# quarantined: reason=hang attempts=2' "$TMP/hang/poisoned-1-2.scenario" \
+  || fail "poisoned repro missing its quarantine trailer"
+WD=$(sed -n 's/.*"watchdog_kills":\([0-9]*\).*/\1/p' "$TMP/hang/execution.json")
+[ "${WD:-0}" -ge 2 ] \
+  || fail "expected >=2 watchdog kills in execution.json, got '${WD:-}'"
+
+# --- planted crash: supervisor restart -> retry -> quarantine ---------------
+set +e
+"$BIN" --new="$TMP/crash" --scenarios=6 --shards=2 --seed=1 \
+  --plant-crash=4 --scenario-timeout-ms=5000 --max-attempts=2 --backoff-ms=100 \
+  --quiet
+CODE=$?
+set -e
+[ "$CODE" -eq 0 ] || fail "crash campaign exited $CODE, expected 0"
+grep -q '"quarantined":1' "$TMP/crash/report.json" \
+  || fail "crash campaign report does not count one quarantined unit"
+[ -f "$TMP/crash/poisoned-1-4.scenario" ] \
+  || fail "poisoned repro for the crashing unit missing"
+RS=$(sed -n 's/.*"worker_restarts":\([0-9]*\).*/\1/p' "$TMP/crash/execution.json")
+[ "${RS:-0}" -ge 2 ] \
+  || fail "expected >=2 worker restarts in execution.json, got '${RS:-}'"
+
+echo "ok: hang quarantined after watchdog kills, crash quarantined after worker restarts, both campaigns exit 0"

@@ -14,7 +14,10 @@
 //   * heap allocations per step at radix 64 (counted by the ssq_alloc_hook
 //     operator-new interposer; the zero-allocation claim, measured),
 //   * fuzz-campaign scenario throughput at 1 thread and at --jobs threads
-//     (the parallel point is skipped honestly on single-CPU hosts).
+//     (the parallel point is skipped honestly on single-CPU hosts),
+//   * the same serial campaign run through the ssq_campaign shard runner
+//     with its checkpoint journal attached — the per-scenario cost of
+//     crash-safe resume (docs/CAMPAIGN.md), gated like any throughput.
 //
 // `--check[=PATH]` re-reads a committed baseline report and fails (exit 1)
 // if any throughput metric regressed by more than --tolerance (default
@@ -40,6 +43,12 @@
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "campaign/manifest.hpp"
+#include "campaign/runner.hpp"
 #include "check/differential.hpp"
 #include "check/scenario.hpp"
 #include "exec/thread_pool.hpp"
@@ -253,6 +262,39 @@ double measure_allocs(std::uint32_t radix, Cycle cycles,
   sim.run(cycles);
   return static_cast<double>(alloc_hook::allocations()) /
          static_cast<double>(cycles);
+}
+
+/// Same scenario set as measure_campaign, but run through the campaign
+/// service's shard runner with its checkpoint journal attached (one start +
+/// one done record per scenario, encode + CRC + flush; fsync off, since
+/// fsync latency is storage noise, not code cost). The gap vs the plain
+/// 1-thread point is the per-scenario resume-ability tax — what a
+/// `ssq_campaign` run pays over `ssq_fuzz` for being `kill -9`-proof.
+double measure_campaign_ckpt(std::uint64_t scenarios) {
+  namespace fs = std::filesystem;
+  campaign::Manifest m;
+  m.base_seed = 1;
+  m.scenarios = scenarios;
+  m.shards = 1;
+  m.grid = {campaign::parse_grid_point("default")};
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("ssq_bench_ckpt_" + std::to_string(static_cast<long>(::getpid())));
+  fs::remove_all(dir);
+  campaign::init_campaign_dir(dir.string(), m);
+  campaign::RunnerHooks hooks;
+  hooks.durable = false;
+  const auto t0 = std::chrono::steady_clock::now();
+  const campaign::ShardOutcome outcome = campaign::run_shard(dir.string(), m,
+                                                             0, hooks);
+  const auto t1 = std::chrono::steady_clock::now();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  if (outcome != campaign::ShardOutcome::Completed) {
+    throw ConfigError("checkpointed campaign shard did not complete");
+  }
+  return static_cast<double>(scenarios) /
+         std::chrono::duration<double>(t1 - t0).count();
 }
 
 double measure_campaign(std::uint64_t scenarios, unsigned jobs) {
@@ -515,6 +557,11 @@ int main(int argc, char** argv) {
     const double sps1 = measure_campaign(scenarios, 1);
     std::cout << "campaign at 1 thread: " << sps1 << " scenarios/s\n";
     metrics.emplace_back("campaign_scenarios_per_sec_jobs1", sps1);
+    const double sps_ckpt = measure_campaign_ckpt(scenarios);
+    std::cout << "campaign with checkpoint journal: " << sps_ckpt
+              << " scenarios/s (resume overhead x" << sps1 / sps_ckpt
+              << " vs plain)\n";
+    metrics.emplace_back("campaign_scenarios_per_sec_ckpt", sps_ckpt);
     if (hw_threads > 1 && jobs > 1) {
       const double spsN = measure_campaign(scenarios, jobs);
       std::cout << "campaign at " << jobs << " threads: " << spsN

@@ -6,9 +6,11 @@
 // shrinks any failure to a minimal repro file, and exits nonzero. Replay a
 // repro with --replay=FILE; docs/TESTING.md walks through the workflow.
 //
-// Exit codes: 0 all scenarios passed, 1 divergence found, 2 bad usage/config.
+// Exit codes: 0 all scenarios passed, 1 divergence found, 2 bad usage/config,
+// 130 interrupted by SIGINT/SIGTERM (partial totals reported; no repro).
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -25,6 +27,7 @@
 #include "check/shrink.hpp"
 #include "check/trace.hpp"
 #include "exec/thread_pool.hpp"
+#include "sim/atomic_file.hpp"
 #include "sim/error.hpp"
 #include "stats/ascii_plot.hpp"
 #include "stats/streaming.hpp"
@@ -52,6 +55,9 @@ Campaign:
                           verdicts and repros are byte-identical at any N
   --time-budget=SECONDS   stop starting new scenarios after this much wall
                           clock (default 0 = no budget)
+
+  SIGINT/SIGTERM cancel cooperatively: no new scenarios are dispatched, the
+  completed index-prefix is reported, and the exit code is 130.
 
 Checking:
   --no-circuit            skip the bit-level circuit arbitration leg
@@ -86,6 +92,22 @@ Replay and corpus authoring:
   --quiet                 only print failures and the final summary
   --help                  print this message and exit
 )";
+
+/// Cooperative shutdown: SIGINT/SIGTERM set the token, the thread pool stops
+/// claiming new scenarios, and the campaign reports the completed prefix.
+/// CancelToken::cancel is a lock-free atomic store, so it is safe to call
+/// from a signal handler.
+exec::CancelToken g_cancel;
+
+extern "C" void fuzz_on_signal(int) { g_cancel.cancel(); }
+
+void install_cancel_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = fuzz_on_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
 
 std::optional<std::string> opt_value(std::string_view arg,
                                      std::string_view key) {
@@ -129,18 +151,27 @@ bool unexpected_violation(bool has_faults, const check::RunResult& r) {
 }
 
 /// Writes `dump` (a bounded flight-recorder JSONL snapshot) next to a repro.
+/// Atomic (tmp + rename): a crash or SIGKILL mid-write never leaves a
+/// half-written dump behind — the file either exists complete or not at all.
 void write_flight_dump(const std::string& path, const std::string& dump) {
   if (dump.empty()) return;
-  std::ofstream out(path);
-  if (out) {
-    out << dump;
-    out.flush();
-  }
-  if (!out) {
+  if (!write_file_atomic(path, dump)) {
     std::cerr << "warning: could not write flight dump to '" << path << "'\n";
   } else {
     std::cout << "flight dump written to " << path << "\n";
   }
+}
+
+/// Serialises and atomically writes a repro scenario. Returns false (after a
+/// warning) on I/O failure; the campaign still exits 1 either way.
+bool write_repro(const std::string& path, const check::Scenario& s) {
+  std::ostringstream body;
+  check::write_scenario(body, s);
+  if (!write_file_atomic(path, body.str())) {
+    std::cerr << "warning: could not write repro to '" << path << "'\n";
+    return false;
+  }
+  return true;
 }
 
 /// Running campaign totals; per-scenario Streaming accumulators are merged
@@ -322,13 +353,11 @@ int main(int argc, char** argv) {
       }
       const check::Scenario s = check::generate_scenario(*emit_index,
                                                          base_seed);
-      std::ofstream out(write_path);
-      if (!out) {
-        throw ConfigError("cannot open '" + write_path + "' for writing");
+      std::ostringstream body;
+      check::write_scenario(body, s);
+      if (!write_file_atomic(write_path, body.str())) {
+        throw ConfigError("cannot write '" + write_path + "'");
       }
-      check::write_scenario(out, s);
-      out.flush();
-      if (!out) throw ConfigError("write failure on '" + write_path + "'");
       return 0;
     }
 
@@ -340,13 +369,8 @@ int main(int argc, char** argv) {
         if (trace_path == "-") {
           std::cout << trace;
           if (!std::cout.flush()) return 2;
-        } else {
-          std::ofstream out(trace_path);
-          out << trace;
-          out.flush();
-          if (!out) {
-            throw ConfigError("write failure on '" + trace_path + "'");
-          }
+        } else if (!write_file_atomic(trace_path, trace)) {
+          throw ConfigError("write failure on '" + trace_path + "'");
         }
         return 0;
       }
@@ -385,13 +409,19 @@ int main(int argc, char** argv) {
     // and a failing campaign acts on the LOWEST failing index, so verdicts,
     // stdout, and repro files are byte-identical at any --jobs value.
     const auto t0 = std::chrono::steady_clock::now();
+    install_cancel_handlers();
     exec::ThreadPool pool(static_cast<unsigned>(jobs));
     const std::uint64_t block = jobs <= 1 ? 1 : jobs * 4;
     std::uint64_t ran = 0;
+    bool interrupted = false;
     CampaignStats campaign;
     std::vector<double> grants_profile;  // per-scenario, index order
     auto last_heartbeat = t0;
     for (std::uint64_t start = 0; start < scenarios; start += block) {
+      if (g_cancel.cancelled()) {
+        interrupted = true;
+        break;
+      }
       if (time_budget_s != 0) {
         const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
                                  std::chrono::steady_clock::now() - t0)
@@ -411,8 +441,13 @@ int main(int argc, char** argv) {
         bool has_faults = false;
         std::string line;  // buffered per-scenario "ok" report
       };
+      // On SIGINT/SIGTERM the pool stops dispatching new scenarios; the
+      // completed set is always the index prefix [0, done), so partial
+      // totals stay deterministic in index order.
+      std::size_t done = 0;
       std::vector<Outcome> outcomes = exec::run_batch<Outcome>(
-          pool, static_cast<std::size_t>(count), [&](std::size_t k) {
+          pool, static_cast<std::size_t>(count),
+          [&](std::size_t k) {
             const std::uint64_t i = start + k;
             const check::Scenario s = check::generate_scenario(i, base_seed);
             Outcome o;
@@ -426,8 +461,10 @@ int main(int argc, char** argv) {
               o.line = os.str();
             }
             return o;
-          });
-      for (std::uint64_t k = 0; k < count; ++k) {
+          },
+          &g_cancel, &done);
+      if (done < count) interrupted = true;
+      for (std::uint64_t k = 0; k < done; ++k) {
         const std::uint64_t i = start + k;
         const check::RunResult& r = outcomes[k].result;
         ++ran;
@@ -445,17 +482,9 @@ int main(int argc, char** argv) {
           const std::string stem = repro_dir + "/repro-" +
                                    std::to_string(base_seed) + "-" +
                                    std::to_string(i);
-          std::error_code ec;  // best-effort; the open below reports failure
+          std::error_code ec;  // best-effort; the write below reports failure
           std::filesystem::create_directories(repro_dir, ec);
-          std::ofstream out(stem + ".scenario");
-          if (out) {
-            check::write_scenario(out, s);
-            out.flush();
-          }
-          if (!out) {
-            std::cerr << "warning: could not write repro to '" << stem
-                      << ".scenario'\n";
-          } else {
+          if (write_repro(stem + ".scenario", s)) {
             std::cout << "repro written to " << stem << ".scenario (replay: "
                       << "ssq_fuzz --monitor --replay=" << stem
                       << ".scenario)\n";
@@ -485,16 +514,9 @@ int main(int argc, char** argv) {
         const std::string path = repro_dir + "/repro-" +
                                  std::to_string(base_seed) + "-" +
                                  std::to_string(i) + ".scenario";
-        std::error_code ec;  // best-effort; the open below reports failure
+        std::error_code ec;  // best-effort; the write below reports failure
         std::filesystem::create_directories(repro_dir, ec);
-        std::ofstream out(path);
-        if (out) {
-          check::write_scenario(out, repro);
-          out.flush();
-        }
-        if (!out) {
-          std::cerr << "warning: could not write repro to '" << path << "'\n";
-        } else {
+        if (write_repro(path, repro)) {
           std::cout << "repro written to " << path
                     << " (replay: ssq_fuzz --replay=" << path << ")\n";
         }
@@ -520,6 +542,14 @@ int main(int argc, char** argv) {
     if (heartbeat_s != 0) {
       emit_heartbeat(campaign, ran,
                      static_cast<double>(total_s) / 1000.0);
+    }
+    if (interrupted) {
+      std::cout << "interrupted after " << ran << "/" << scenarios
+                << " scenarios (no failures found): "
+                << static_cast<std::uint64_t>(campaign.grants.sum())
+                << " grants checked, "
+                << static_cast<double>(total_s) / 1000.0 << "s\n";
+      return 130;
     }
     if (!quiet) {
       render_campaign_summary(campaign, ran, opts.monitor, grants_profile);
