@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "arb/age.hpp"
 #include "arb/dwrr.hpp"
@@ -14,6 +15,7 @@
 #include "arb/virtual_clock.hpp"
 #include "arb/wfq.hpp"
 #include "arb/wrr.hpp"
+#include "sim/error.hpp"
 
 namespace ssq::arb {
 
@@ -40,8 +42,13 @@ Kind parse_kind(std::string_view name) {
                  Kind::MultiLevel, Kind::Tdm, Kind::Pvc}) {
     if (kind_name(k) == name) return k;
   }
-  SSQ_EXPECT(false && "unknown arbiter kind");
-  return Kind::Lrg;
+  // A name reaches here straight from a CLI flag or scenario file: user
+  // input, so throw (with the offending token) rather than abort.
+  throw ssq::ConfigError(
+      "unknown arbiter kind '" + std::string(name) +
+      "' (lrg|round_robin|fixed_priority|age|wrr|dwrr|wfq|virtual_clock|"
+      "multilevel|tdm|pvc) [" __FILE__ ":" +
+      std::to_string(__LINE__) + "]");
 }
 
 namespace {
@@ -118,8 +125,9 @@ std::unique_ptr<Arbiter> make_arbiter(Kind kind, std::uint32_t radix,
     case Kind::Pvc:
       return std::make_unique<PvcArbiter>(radix, shares);
   }
-  SSQ_EXPECT(false && "unhandled arbiter kind");
-  return nullptr;
+  throw ssq::ConfigError("unhandled arbiter kind " +
+                         std::to_string(static_cast<int>(kind)) +
+                         " [" __FILE__ "]");
 }
 
 }  // namespace ssq::arb

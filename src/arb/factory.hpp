@@ -31,7 +31,8 @@ enum class Kind {
 /// Stable lowercase name for CLI selection ("lrg", "round_robin", ...).
 [[nodiscard]] std::string_view kind_name(Kind kind) noexcept;
 
-/// Parses a kind from its name; aborts on unknown names.
+/// Parses a kind from its name; throws ssq::ConfigError naming the
+/// offending token on unknown names.
 [[nodiscard]] Kind parse_kind(std::string_view name);
 
 /// Constructs an arbiter.

@@ -10,6 +10,12 @@ namespace {
 
 std::string class_name(TrafficClass c) { return std::string(to_string(c)); }
 
+// Consecutive request-but-no-grant cycles tolerated under a matching engine
+// before the progress guard calls starvation. Honest engines grant at least
+// one pair per cycle with eligible requests; SW-QPS's emission gaps are
+// bounded by window + max packet length (<= 8 + 32 flits), far below this.
+constexpr Cycle kEngineStallThreshold = 128;
+
 }  // namespace
 
 DifferentialChecker::DifferentialChecker(sw::CrossbarSwitch& sim,
@@ -19,6 +25,7 @@ DifferentialChecker::DifferentialChecker(sw::CrossbarSwitch& sim,
   const auto& cfg = sim_.config();
   const std::uint32_t radix = cfg.radix;
   single_request_ = cfg.allocation == sw::AllocationMode::SingleRequest;
+  progress_guard_ = cfg.engine != arb::MatchKind::None;
 
   // The differential legs predict SSVC state exactly; anything else (baseline
   // arbiters, iterative matching, fault injection) falls back to
@@ -166,6 +173,24 @@ void DifferentialChecker::check_grant(const obs::Event& e, bool chained) {
   granted_[o] = i;
   input_granted_[i] = 1;
 
+  if (progress_guard_ && !chained) {
+    // Engine mode reports every eligible (input, output) pair as a Request;
+    // a grant outside that set means the engine matched an ineligible pair.
+    bool requested = false;
+    for (const auto& r : reqs_[o]) {
+      if (r.input == i) {
+        requested = true;
+        break;
+      }
+    }
+    if (!requested) {
+      fail(e.cycle, o, "unrequested_grant",
+           "engine granted input " + std::to_string(i) +
+               " at an output it never requested\n" + dump_requests(o));
+      return;
+    }
+  }
+
   if (!opts_.differential) return;
   ReferenceOutput& ref = refs_[o];
   ref.advance_to(e.cycle);
@@ -288,6 +313,27 @@ void DifferentialChecker::end_cycle(Cycle t) {
                std::to_string(created_[f]) + ", buffered " +
                std::to_string(buffered_[f]) + ", delivered " +
                std::to_string(delivered_[f]));
+      return;
+    }
+  }
+
+  if (progress_guard_) {
+    // Work conservation under a matching engine: requests pending but zero
+    // grants switch-wide, sustained past the threshold, is starvation.
+    bool any_grant = false;
+    for (const InputId g : granted_) {
+      if (g != kNoPort) {
+        any_grant = true;
+        break;
+      }
+    }
+    if (any_grant || requesting_inputs_ == 0) {
+      stall_streak_ = 0;
+    } else if (++stall_streak_ >= kEngineStallThreshold) {
+      fail(t, kNoPort, "starvation",
+           "matching engine granted nothing for " +
+               std::to_string(stall_streak_) +
+               " consecutive cycles with requests pending");
       return;
     }
   }

@@ -124,6 +124,15 @@ class DifferentialChecker {
   std::vector<std::uint8_t> input_granted_;       // per input, this cycle
   bool single_request_ = false;
   std::uint64_t requesting_inputs_ = 0;           // this cycle (SingleRequest)
+  // Progress guard, armed only for matching-engine configs (config.engine):
+  // consecutive cycles with >= 1 request but zero grants switch-wide. An
+  // honest engine matches at least one eligible pair per cycle (SW-QPS's
+  // window gaps are bounded by T + the longest packet), so a streak past the
+  // threshold means the engine starves the switch. NOT armed for the classic
+  // paths: GL Stall policing under SingleRequest can legitimately hold an
+  // output for thousands of cycles.
+  bool progress_guard_ = false;
+  Cycle stall_streak_ = 0;
 
   // Packet conservation, per flow.
   std::vector<std::uint64_t> created_, buffered_, delivered_;

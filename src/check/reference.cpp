@@ -13,6 +13,7 @@ const char* to_string(PlantedBug b) noexcept {
     case PlantedBug::LrgNoMoveToBack: return "lrg_no_move_to_back";
     case PlantedBug::GlAllowanceOffByOne: return "gl_allowance_off_by_one";
     case PlantedBug::SkipEpochWrap: return "skip_epoch_wrap";
+    case PlantedBug::EngineStarve: return "engine_starve";
   }
   return "?";
 }

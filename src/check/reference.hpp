@@ -48,6 +48,10 @@ enum class PlantedBug : std::uint8_t {
   GlAllowanceOffByOne,
   /// Real-time epoch wraps never subtract from the virtual clocks.
   SkipEpochWrap,
+  /// Matching-engine runs only (run_scenario swaps the scenario's engine for
+  /// arb::MatchKind::Starve): the switch stops granting while requests are
+  /// pending — the checker's progress guard must fire.
+  EngineStarve,
 };
 
 [[nodiscard]] const char* to_string(PlantedBug b) noexcept;

@@ -148,7 +148,11 @@ sw::SwitchConfig Scenario::build_config() const {
   config.ssvc = ssvc;
   config.buffers = buffers;
   config.mode = sw::ArbitrationMode::SsvcQos;
-  config.allocation = sw::AllocationMode::SingleRequest;
+  config.allocation = matching_engine == arb::MatchKind::None
+                          ? sw::AllocationMode::SingleRequest
+                          : sw::AllocationMode::IterativeMatching;
+  config.engine = matching_engine;
+  config.match_iterations = match_iterations;
   config.gl_policing = gl_policing;
   config.gl_allowance_packets = gl_allowance;
   config.gsf = gsf;
@@ -341,6 +345,20 @@ Scenario generate_scenario(std::uint64_t index, std::uint64_t base_seed) {
       s.scrub_interval = 64 + rng.below(512);
     }
   }
+
+  // ~1 in 4 scenarios swaps the arbiters for a matching engine (checked
+  // invariants-only plus the progress guard). Sampled LAST so the draw
+  // sequence — and thus every scenario generated before this knob existed —
+  // is unchanged for the classic path.
+  const std::uint64_t eng = rng.below(16);
+  if (eng >= 12) {
+    s.matching_engine = eng == 12   ? arb::MatchKind::Islip
+                        : eng == 13 ? arb::MatchKind::Qps
+                        : eng == 14 ? arb::MatchKind::SwQps
+                                    : arb::MatchKind::Ssvc;
+    s.match_iterations = 1 + static_cast<std::uint32_t>(rng.below(4));
+    s.packet_chaining = false;  // engines bypass the arbiters chaining charges
+  }
   return s;
 }
 
@@ -401,6 +419,17 @@ Scenario parse_scenario(std::istream& in, const std::string& name) {
       s.packet_chaining = f.u64("chaining", s.packet_chaining ? 1 : 0) != 0;
       s.arbitration_cycles = static_cast<std::uint32_t>(
           f.u64("arb_cycles", s.arbitration_cycles));
+    } else if (head == "match") {
+      const std::string eng = f.require("engine");
+      try {
+        s.matching_engine = arb::parse_match_kind(eng);
+      } catch (const ssq::ConfigError&) {
+        parse_fail(name, line_no,
+                   "unknown engine '" + eng +
+                       "' (islip|qps|swqps|ssvc|starve|none)");
+      }
+      s.match_iterations =
+          static_cast<std::uint32_t>(f.u64("iters", s.match_iterations));
     } else if (head == "gsf") {
       s.gsf.enabled = true;
       s.gsf.frame_cycles = f.u64("frame", s.gsf.frame_cycles);
@@ -506,6 +535,10 @@ void write_scenario(std::ostream& out, const Scenario& s) {
       << " allowance=" << s.gl_allowance
       << " chaining=" << (s.packet_chaining ? 1 : 0)
       << " arb_cycles=" << s.arbitration_cycles << "\n";
+  if (s.matching_engine != arb::MatchKind::None) {
+    out << "match engine=" << arb::match_kind_name(s.matching_engine)
+        << " iters=" << s.match_iterations << "\n";
+  }
   if (s.gsf.enabled) {
     out << "gsf frame=" << s.gsf.frame_cycles
         << " barrier=" << s.gsf.barrier_cycles << "\n";
@@ -589,6 +622,17 @@ ScenarioRun instantiate(const Scenario& s) {
 }
 
 RunResult run_scenario(const Scenario& s, const CheckOptions& opts) {
+  if (opts.bug == PlantedBug::EngineStarve) {
+    // The starving engine IS the plant: swap it into a copy of the scenario
+    // and check that copy clean — the progress guard must call starvation.
+    // Repro files stay engine-honest and shrink flows through this same path.
+    Scenario planted = s;
+    planted.matching_engine = arb::MatchKind::Starve;
+    planted.packet_chaining = false;
+    CheckOptions clean = opts;
+    clean.bug = PlantedBug::None;
+    return run_scenario(planted, clean);
+  }
   ScenarioRun rig = instantiate(s);
   DifferentialChecker checker(*rig.sim, opts);
 
@@ -610,8 +654,12 @@ RunResult run_scenario(const Scenario& s, const CheckOptions& opts) {
     // removes the policer's own delays from the judged waits). GB share
     // under CounterPolicy::None is not judged either: unbounded counters
     // stop differentiating flows by design once they clamp.
-    cfg.check_gl = s.gl_policing == core::GlPolicing::Stall;
-    cfg.check_gb = s.ssvc.policy != core::CounterPolicy::None;
+    // A matching engine bypasses the QoS arbiters entirely, so the GB-share
+    // and GL-latency guarantees the monitor judges do not apply there.
+    cfg.check_gl = s.gl_policing == core::GlPolicing::Stall &&
+                   s.matching_engine == arb::MatchKind::None;
+    cfg.check_gb = s.ssvc.policy != core::CounterPolicy::None &&
+                   s.matching_engine == arb::MatchKind::None;
     monitor = std::make_unique<obs::ConformanceMonitor>(std::move(cfg));
     if (recorder != nullptr) {
       obs::FlightRecorder* rec = recorder.get();

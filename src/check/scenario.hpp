@@ -37,6 +37,12 @@ struct Scenario {
   std::uint32_t gl_allowance = 32;
   bool packet_chaining = false;
   std::uint32_t arbitration_cycles = 1;
+  /// Matching engine replacing the per-output arbiters (None = the classic
+  /// single-request path). Engine scenarios run invariants-only, plus the
+  /// checker's progress guard and unrequested-grant checks.
+  arb::MatchKind matching_engine = arb::MatchKind::None;
+  /// Iteration budget (iSLIP/QPS-r) or window T (SW-QPS).
+  std::uint32_t match_iterations = 2;
   sw::GsfConfig gsf{};
   sw::BufferConfig buffers{};
 
@@ -61,9 +67,10 @@ struct Scenario {
 
   [[nodiscard]] bool has_faults() const noexcept { return !faults.empty(); }
 
-  /// Switch configuration implied by this scenario (always SsvcQos +
-  /// SingleRequest — the differential-checkable configuration). Validates;
-  /// throws ssq::ConfigError.
+  /// Switch configuration implied by this scenario: SsvcQos + SingleRequest
+  /// (the differential-checkable configuration), or SsvcQos +
+  /// IterativeMatching when a matching engine is set. Validates; throws
+  /// ssq::ConfigError.
   [[nodiscard]] sw::SwitchConfig build_config() const;
   /// Workload implied by this scenario. Validates; throws ssq::ConfigError.
   [[nodiscard]] traffic::Workload build_workload() const;

@@ -129,6 +129,15 @@ struct Shrinker {
       any |= try_adopt(std::move(c));
     };
     if (best.gsf.enabled) try_flag([](Scenario& c) { c.gsf.enabled = false; });
+    if (best.matching_engine != arb::MatchKind::None) {
+      // Engine-independent failures (conservation, double grants) shrink to
+      // the classic path; engine-specific ones keep the engine but try the
+      // smallest iteration budget.
+      try_flag([](Scenario& c) { c.matching_engine = arb::MatchKind::None; });
+      if (best.match_iterations > 1) {
+        try_flag([](Scenario& c) { c.match_iterations = 1; });
+      }
+    }
     if (best.packet_chaining) {
       try_flag([](Scenario& c) { c.packet_chaining = false; });
     }

@@ -1,0 +1,197 @@
+#include "check/stability.hpp"
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/contracts.hpp"
+#include "sim/error.hpp"
+#include "sim/rng.hpp"
+
+namespace ssq::check {
+
+const char* to_string(TrafficPattern p) noexcept {
+  switch (p) {
+    case TrafficPattern::Uniform: return "uniform";
+    case TrafficPattern::Diagonal: return "diagonal";
+    case TrafficPattern::LogDiagonal: return "logdiag";
+    case TrafficPattern::Hotspot: return "hotspot";
+  }
+  return "?";
+}
+
+TrafficPattern parse_pattern(std::string_view name) {
+  for (TrafficPattern p :
+       {TrafficPattern::Uniform, TrafficPattern::Diagonal,
+        TrafficPattern::LogDiagonal, TrafficPattern::Hotspot}) {
+    if (to_string(p) == name) return p;
+  }
+  throw ssq::ConfigError("unknown traffic pattern '" + std::string(name) +
+                         "' (uniform|diagonal|logdiag|hotspot)");
+}
+
+void StabilityConfig::validate() const {
+  detail::config_check(radix >= 2 && radix <= 64, "radix out of range [2,64]");
+  detail::config_check(engine != arb::MatchKind::None,
+                       "the stability lab needs a matching engine");
+  detail::config_check(iterations >= 1 && iterations <= 8,
+                       "iterations out of range [1,8]");
+  detail::config_check(load > 0.0 && load < 1.0,
+                       "load must be in (0,1) — admissible offered load");
+  detail::config_check(cycles >= 1, "cycles must be >= 1");
+}
+
+namespace {
+
+/// Arrival-stamped FIFO: vector + head index, compacted when the dead
+/// prefix dominates, so pops stay O(1) amortised without deque overhead.
+struct CellFifo {
+  std::vector<Cycle> q;
+  std::size_t head = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return q.size() - head; }
+  void push(Cycle arrival) { q.push_back(arrival); }
+  Cycle pop() {
+    const Cycle a = q[head++];
+    if (head >= 4096 && head * 2 >= q.size()) {
+      q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(head));
+      head = 0;
+    }
+    return a;
+  }
+};
+
+OutputId draw_destination(Rng& rng, TrafficPattern pattern, InputId i,
+                          std::uint32_t radix) {
+  switch (pattern) {
+    case TrafficPattern::Uniform:
+      return static_cast<OutputId>(rng.below(radix));
+    case TrafficPattern::Diagonal:
+      return static_cast<OutputId>(rng.below(3) < 2 ? i : (i + 1) % radix);
+    case TrafficPattern::LogDiagonal: {
+      // P(k) = 2^-(k+1), remainder pooled on the last diagonal.
+      std::uint32_t k = 0;
+      while (k < radix - 1 && !rng.bernoulli(0.5)) ++k;
+      return static_cast<OutputId>((i + k) % radix);
+    }
+    case TrafficPattern::Hotspot:
+      return static_cast<OutputId>(rng.bernoulli(0.5) ? i : rng.below(radix));
+  }
+  SSQ_EXPECT(false && "unreachable pattern");
+  return 0;
+}
+
+}  // namespace
+
+StabilityPoint measure_stability(const StabilityConfig& cfg) {
+  cfg.validate();
+  const std::uint32_t radix = cfg.radix;
+
+  // Independent streams: reseeding the engine must not shift the arrival
+  // process (and vice versa), so engine-vs-engine points see identical
+  // traffic for the same (seed, pattern, load).
+  std::uint64_t sm_traffic = cfg.seed ^ 0x7472616666696bULL;
+  std::uint64_t sm_engine = cfg.seed ^ 0x656e67696e65ULL;
+  Rng traffic_rng(splitmix64(sm_traffic));
+  auto engine =
+      arb::make_engine(cfg.engine, radix, cfg.iterations,
+                       splitmix64(sm_engine));
+
+  std::vector<CellFifo> voq(static_cast<std::size_t>(radix) * radix);
+  std::vector<std::uint64_t> eligible(radix, 0);
+  std::vector<std::uint32_t> lengths(static_cast<std::size_t>(radix) * radix,
+                                     0);
+  std::vector<InputId> match(radix, kNoPort);
+  std::vector<std::uint32_t> delays;  // in-window departure delays, slots
+  delays.reserve(static_cast<std::size_t>(cfg.cycles) * radix / 4 + 16);
+
+  StabilityPoint pt;
+  pt.engine = std::string(arb::match_kind_name(cfg.engine));
+  pt.pattern = to_string(cfg.pattern);
+  pt.load = cfg.load;
+  pt.cycles = cfg.cycles;
+
+  std::uint64_t iteration_sum = 0;
+  std::uint64_t slots_with_work = 0;
+  const Cycle end = cfg.warmup + cfg.cycles;
+  for (Cycle t = 0; t < end; ++t) {
+    const bool measuring = t >= cfg.warmup;
+    // Arrivals: Bernoulli(load) per input, destination by pattern.
+    for (InputId i = 0; i < radix; ++i) {
+      if (!traffic_rng.bernoulli(cfg.load)) continue;
+      const OutputId o = draw_destination(traffic_rng, cfg.pattern, i, radix);
+      CellFifo& f = voq[static_cast<std::size_t>(i) * radix + o];
+      f.push(t);
+      if (measuring) {
+        ++pt.arrived;
+        pt.max_backlog = std::max<std::uint64_t>(pt.max_backlog, f.size());
+      }
+    }
+
+    // Build the view. Cell model: every port is free every slot, so the
+    // candidate and eligible sets coincide.
+    bool any = false;
+    for (InputId i = 0; i < radix; ++i) {
+      std::uint64_t mask = 0;
+      for (OutputId o = 0; o < radix; ++o) {
+        const std::size_t idx = static_cast<std::size_t>(i) * radix + o;
+        const std::size_t len = voq[idx].size();
+        lengths[idx] = static_cast<std::uint32_t>(
+            std::min<std::size_t>(len, 0xffffffffULL));
+        if (len > 0) mask |= 1ULL << o;
+      }
+      eligible[i] = mask;
+      any |= mask != 0;
+    }
+    if (!any) continue;  // engines leave no trace on an empty view
+    ++slots_with_work;
+
+    std::fill(match.begin(), match.end(), kNoPort);
+    const arb::MatchView view{radix,
+                              std::span<const std::uint64_t>(eligible),
+                              std::span<const std::uint64_t>(eligible),
+                              std::span<const std::uint32_t>(lengths)};
+    iteration_sum += engine->match(view, match);
+
+    std::uint64_t in_used = 0;
+    for (OutputId o = 0; o < radix; ++o) {
+      const InputId i = match[o];
+      if (i == kNoPort) continue;
+      SSQ_ENSURE(i < radix && ((eligible[i] >> o) & 1ULL) != 0);
+      SSQ_ENSURE(((in_used >> i) & 1ULL) == 0);
+      in_used |= 1ULL << i;
+      const Cycle arrival = voq[static_cast<std::size_t>(i) * radix + o].pop();
+      if (measuring) {
+        ++pt.departed;
+        delays.push_back(static_cast<std::uint32_t>(t - arrival));
+      }
+    }
+  }
+
+  for (const CellFifo& f : voq) pt.backlog_end += f.size();
+  const double slots = static_cast<double>(cfg.cycles) * radix;
+  pt.offered = static_cast<double>(pt.arrived) / slots;
+  pt.throughput = static_cast<double>(pt.departed) / slots;
+  pt.avg_iterations =
+      slots_with_work > 0
+          ? static_cast<double>(iteration_sum) /
+                static_cast<double>(slots_with_work)
+          : 0.0;
+  if (!delays.empty()) {
+    std::uint64_t sum = 0;
+    for (const std::uint32_t d : delays) sum += d;
+    pt.mean_delay =
+        static_cast<double>(sum) / static_cast<double>(delays.size());
+    const std::size_t k =
+        (delays.size() * 99 + 99) / 100;  // ceil rank of the 99th percentile
+    const std::size_t idx = std::min(delays.size() - 1, k - 1);
+    std::nth_element(delays.begin(),
+                     delays.begin() + static_cast<std::ptrdiff_t>(idx),
+                     delays.end());
+    pt.p99_delay = delays[idx];
+  }
+  return pt;
+}
+
+}  // namespace ssq::check

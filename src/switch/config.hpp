@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "arb/factory.hpp"
+#include "arb/matching.hpp"
 #include "core/gl_tracker.hpp"
 #include "core/params.hpp"
 #include "sim/contracts.hpp"
@@ -120,8 +121,19 @@ struct SwitchConfig {
 
   /// Input-request presentation policy (see AllocationMode).
   AllocationMode allocation = AllocationMode::SingleRequest;
-  /// Matching rounds when allocation == IterativeMatching.
+  /// Matching rounds when allocation == IterativeMatching; doubles as the
+  /// window size T for the SW-QPS engine.
   std::uint32_t match_iterations = 2;
+
+  /// Matching engine (iSLIP / QPS-r / SW-QPS / ...) replacing the per-output
+  /// arbiter grant step under IterativeMatching allocation. None (default)
+  /// keeps the classic path: SSVC/baseline arbiters arbitrate each output.
+  /// An engine ignores QoS state entirely — class priority survives only in
+  /// head selection (GL > GB > BE per input), so engine runs are checked
+  /// invariants-only by the differential harness. Requires SsvcQos mode,
+  /// IterativeMatching allocation and no packet chaining (chaining charges
+  /// the per-output arbiters an engine bypasses).
+  arb::MatchKind engine = arb::MatchKind::None;
 
   /// Cycles consumed by output arbitration before the first flit moves.
   /// 1 for the Swizzle Switch / SSVC (the paper's single-cycle headline);
@@ -150,6 +162,17 @@ struct SwitchConfig {
                          "arbitration_cycles out of range [1,4]");
     detail::config_check(match_iterations >= 1 && match_iterations <= 8,
                          "match_iterations out of range [1,8]");
+    if (engine != arb::MatchKind::None) {
+      detail::config_check(allocation == AllocationMode::IterativeMatching,
+                           "a matching engine requires IterativeMatching "
+                           "allocation");
+      detail::config_check(mode == ArbitrationMode::SsvcQos,
+                           "a matching engine requires SsvcQos mode");
+      detail::config_check(!packet_chaining,
+                           "packet chaining cannot be combined with a "
+                           "matching engine (chaining charges the per-output "
+                           "arbiters an engine bypasses)");
+    }
     ssvc.validate();
     buffers.validate();
     gsf.validate();

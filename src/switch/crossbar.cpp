@@ -67,6 +67,14 @@ CrossbarSwitch::CrossbarSwitch(const SwitchConfig& config,
     }
   }
 
+  if (config_.engine != arb::MatchKind::None) {
+    // The engine stream must be independent of the per-flow injector forks
+    // (rng_.fork(f) below) — derive it by hashing the seed once.
+    std::uint64_t sm = config_.seed ^ 0x6d61746368ULL;  // "match"
+    engine_ = arb::make_engine(config_.engine, radix, config_.match_iterations,
+                               splitmix64(sm));
+  }
+
   input_flows_.resize(radix);
   accept_ptr_.assign(radix, 0);
   accept_out_ptr_.assign(radix, 0);
@@ -756,6 +764,97 @@ void CrossbarSwitch::arbitrate_matched() {
   }
 }
 
+void CrossbarSwitch::arbitrate_engine() {
+  // Matching-engine allocation: build the switch-wide eligibility/backlog
+  // view once, hand it to the engine, commit the returned partial
+  // permutation. The per-output QoS arbiters stay idle — class priority
+  // survives only in candidate_for()'s head order (GL > GB > BE).
+  const std::uint32_t radix = config_.radix;
+  StepScratch& s = scratch_;
+  std::fill(s.eng_voq.begin(), s.eng_voq.end(), 0U);
+
+  std::uint64_t out_free = 0;
+  for (OutputId o = 0; o < radix; ++o) {
+    if (output_idle(o)) out_free |= 1ULL << o;
+  }
+
+  bool any_candidate = false;
+  for (InputId i = 0; i < radix; ++i) {
+    const InputPort& port = inputs_[i];
+    std::uint64_t cand = 0;
+    if (fault_ == nullptr || !fault_->port_dead(i)) {
+      cand = port.gb_nonempty();
+      if (const Packet* h = port.gl_head(); h != nullptr) {
+        cand |= 1ULL << h->dst;
+      }
+      if (const Packet* h = port.be_head(); h != nullptr) {
+        cand |= 1ULL << h->dst;
+      }
+      if (fault_ != nullptr) {
+        for (std::uint64_t w = cand; w != 0; w &= w - 1) {
+          const auto o = static_cast<OutputId>(std::countr_zero(w));
+          if (!fault_->link_alive(i, o)) cand &= ~(1ULL << o);
+        }
+      }
+    }
+    const std::uint64_t elig = port.busy(now_) ? 0 : (cand & out_free);
+    s.eng_candidates[i] = cand;
+    s.eng_eligible[i] = elig;
+    any_candidate |= cand != 0;
+    // Backlog in flits behind each candidate crosspoint: the crosspoint GB
+    // queue, plus the (shared-FIFO) GL/BE buffers when their head points at
+    // o. Sampling weight for QPS, retirement signal for SW-QPS.
+    for (std::uint64_t w = cand; w != 0; w &= w - 1) {
+      const auto o = static_cast<OutputId>(std::countr_zero(w));
+      std::uint32_t backlog = port.gb_occupancy(o);
+      if (const Packet* h = port.gl_head(); h != nullptr && h->dst == o) {
+        backlog += port.gl_occupancy();
+      }
+      if (const Packet* h = port.be_head(); h != nullptr && h->dst == o) {
+        backlog += port.be_occupancy();
+      }
+      s.eng_voq[static_cast<std::size_t>(i) * radix + o] = backlog;
+    }
+    if (obs_ != nullptr) {
+      for (std::uint64_t w = elig; w != 0; w &= w - 1) {
+        const auto o = static_cast<OutputId>(std::countr_zero(w));
+        const Packet* h = candidate_for(i, o);
+        SSQ_ENSURE(h != nullptr);
+        obs_->request(now_, i, o, h->cls);
+      }
+    }
+  }
+  // Nothing buffered anywhere: skip the engine call entirely. Exact under
+  // idle-cycle fast-forward — engines change no state on an empty view, and
+  // SW-QPS retires drained window entries lazily at its next real call.
+  if (!any_candidate) return;
+
+  std::fill(s.eng_match.begin(), s.eng_match.end(), kNoPort);
+  const arb::MatchView view{
+      radix, std::span<const std::uint64_t>(s.eng_eligible),
+      std::span<const std::uint64_t>(s.eng_candidates),
+      std::span<const std::uint32_t>(s.eng_voq)};
+  const std::uint32_t iters = engine_->match(view, s.eng_match);
+  ++engine_stats_.cycles;
+  engine_stats_.iterations += iters;
+
+  std::uint64_t in_used = 0;
+  for (OutputId o = 0; o < radix; ++o) {
+    const InputId i = s.eng_match[o];
+    if (i == kNoPort) continue;
+    SSQ_ENSURE(i < radix && "engine matched an out-of-range input");
+    SSQ_ENSURE(((s.eng_eligible[i] >> o) & 1ULL) != 0 &&
+               "engine matched an ineligible pair");
+    SSQ_ENSURE(((in_used >> i) & 1ULL) == 0 &&
+               "engine matched an input twice");
+    in_used |= 1ULL << i;
+    const Packet* h = candidate_for(i, o);
+    SSQ_ENSURE(h != nullptr);
+    commit_grant(i, o, h->cls);
+    ++engine_stats_.matches;
+  }
+}
+
 void CrossbarSwitch::step() {
   if (fault_ != nullptr) fault_->on_cycle(now_);
   if (scrub_ != nullptr) scrub_->on_cycle(now_);
@@ -768,7 +867,11 @@ void CrossbarSwitch::step() {
   transfer();
   if (config_.pvc.preemption) preempt_scan();
   if (config_.allocation == AllocationMode::IterativeMatching) {
-    arbitrate_matched();
+    if (engine_ != nullptr) {
+      arbitrate_engine();
+    } else {
+      arbitrate_matched();
+    }
   } else {
     arbitrate();
   }

@@ -138,6 +138,19 @@ class CrossbarSwitch {
     return wasted_flits_;
   }
 
+  /// Matching-engine convergence counters (all 0 unless config.engine):
+  /// arbitration cycles run, iterations the engine reported across them,
+  /// and pairs committed — avg iterations/cycle is the stability-lab
+  /// convergence metric on live-switch runs.
+  struct EngineStats {
+    std::uint64_t cycles = 0;
+    std::uint64_t iterations = 0;
+    std::uint64_t matches = 0;
+  };
+  [[nodiscard]] const EngineStats& engine_stats() const noexcept {
+    return engine_stats_;
+  }
+
   // ---- introspection ----
   [[nodiscard]] const InputPort& input(InputId i) const;
   [[nodiscard]] core::OutputQosArbiter& qos_arbiter(OutputId o);
@@ -191,6 +204,9 @@ class CrossbarSwitch {
   /// pick_masked(), skipping the counting sort.
   void arbitrate_masked();
   void arbitrate_matched();
+  /// Matching-engine allocation (config.engine != None): build the
+  /// eligibility/backlog view, let the engine compute a matching, commit it.
+  void arbitrate_engine();
   void preempt_scan();
   /// Pops the winner's packet, charges usage, seizes the channel.
   void commit_grant(InputId winner, OutputId o, TrafficClass cls);
@@ -226,6 +242,10 @@ class CrossbarSwitch {
   // QoS or baseline arbitration state, one per output.
   std::vector<std::unique_ptr<core::OutputQosArbiter>> qos_;
   std::vector<std::unique_ptr<arb::Arbiter>> baseline_;
+  // Matching engine (config.engine != None): replaces the per-output grant
+  // step wholesale; the qos_ arbiters stay idle.
+  std::unique_ptr<arb::MatchingEngine> engine_;
+  EngineStats engine_stats_;
 
   // Traffic plumbing, indexed by FlowId.
   std::vector<traffic::Injector> injectors_;

@@ -48,6 +48,10 @@ struct StepScratch {
     gl_mask.resize(radix);
     gb_mask.resize(radix);
     be_mask.resize(radix);
+    eng_eligible.resize(radix);
+    eng_candidates.resize(radix);
+    eng_voq.resize(static_cast<std::size_t>(radix) * radix);
+    eng_match.resize(radix);
   }
 
   // ---- single-request mode (arbitrate) ----
@@ -75,6 +79,14 @@ struct StepScratch {
   std::vector<std::uint64_t> gl_mask;  // per output
   std::vector<std::uint64_t> gb_mask;  // per output
   std::vector<std::uint64_t> be_mask;  // per output
+
+  // ---- matching engines (arbitrate_engine) ----
+  // The MatchView handed to the engine points into these; eng_match receives
+  // the per-output matched inputs back.
+  std::vector<std::uint64_t> eng_eligible;    // per input
+  std::vector<std::uint64_t> eng_candidates;  // per input
+  std::vector<std::uint32_t> eng_voq;         // radix x radix, row-major
+  std::vector<InputId> eng_match;             // per output
 };
 
 }  // namespace ssq::sw

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <string>
 
+#include "arb/matching.hpp"
 #include "check/differential.hpp"
 #include "check/reference.hpp"
 #include "check/scenario.hpp"
@@ -61,12 +62,41 @@ TEST(Differential, FaultedScenariosKeepInvariantChecks) {
 }
 
 TEST(Differential, ChecksEveryGrantOfACleanRun) {
-  const Scenario s = generate_scenario(3, kCampaignSeed);
-  ScenarioRun rig = instantiate(s);
-  DifferentialChecker checker(*rig.sim);
-  ASSERT_TRUE(checker.run(s.cycles));
-  EXPECT_TRUE(checker.options().differential);
-  EXPECT_GT(checker.grants_checked(), 0u);
+  // Find a generated scenario on the classic single-request path (engine
+  // scenarios run invariants-only and would make this vacuous).
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const Scenario s = generate_scenario(i, kCampaignSeed);
+    if (s.has_faults() || s.matching_engine != arb::MatchKind::None) continue;
+    ScenarioRun rig = instantiate(s);
+    DifferentialChecker checker(*rig.sim);
+    ASSERT_TRUE(checker.run(s.cycles));
+    EXPECT_TRUE(checker.options().differential);
+    EXPECT_GT(checker.grants_checked(), 0u);
+    return;
+  }
+  FAIL() << "no clean engine-free scenario generated in 50 tries";
+}
+
+TEST(Differential, EveryMatchingEngineRunsCleanUnderInvariants) {
+  // The engine knob forced onto the same handful of generated scenarios:
+  // every engine must pass the invariant checks (grant uniqueness, packet
+  // conservation, progress) on traffic it did not pick itself.
+  std::uint64_t grants = 0;
+  for (const auto kind : {arb::MatchKind::Islip, arb::MatchKind::Qps,
+                          arb::MatchKind::SwQps, arb::MatchKind::Ssvc}) {
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      Scenario s = generate_scenario(i, kCampaignSeed);
+      s.matching_engine = kind;
+      s.match_iterations = 2;
+      s.packet_chaining = false;
+      const RunResult r = run_scenario(s);
+      EXPECT_FALSE(r.failed)
+          << s.name << " on " << arb::match_kind_name(kind) << ": " << r.kind
+          << " at cycle " << r.fail_cycle << "\n" << r.detail;
+      grants += r.grants_checked;
+    }
+  }
+  EXPECT_GT(grants, 1000u) << "engine sweep exercised too little arbitration";
 }
 
 class PlantedBugP : public ::testing::TestWithParam<PlantedBug> {};
@@ -88,7 +118,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(PlantedBug::GbVtickOffByOne,
                       PlantedBug::LrgNoMoveToBack,
                       PlantedBug::GlAllowanceOffByOne,
-                      PlantedBug::SkipEpochWrap),
+                      PlantedBug::SkipEpochWrap,
+                      PlantedBug::EngineStarve),
     [](const auto& pinfo) { return std::string(to_string(pinfo.param)); });
 
 TEST(Shrink, OffByOneShrinksToATinyRepro) {

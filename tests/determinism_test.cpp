@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "arb/matching.hpp"
 #include "check/differential.hpp"
 #include "check/scenario.hpp"
 #include "check/trace.hpp"
@@ -162,6 +163,27 @@ TEST(KernelInvariance, SimAndChaosTracesIdenticalAcrossKernelAndFF) {
   expect_trace_invariant(chaos_scenario());
 }
 
+/// sim_scenario() re-run through a matching engine instead of the classic
+/// single-request arbiters.
+Scenario engine_scenario(arb::MatchKind kind) {
+  Scenario s = sim_scenario();
+  s.name = "determinism-engine-" + std::string(arb::match_kind_name(kind));
+  s.matching_engine = kind;
+  s.match_iterations = 3;
+  return s;
+}
+
+TEST(KernelInvariance, EngineTracesIdenticalAcrossKernelAndFF) {
+  // Every matching engine must be as kernel- and fast-forward-invariant as
+  // the classic path: the engine RNG stream advances only on non-quiescent
+  // cycles, so skipped idle cycles leave it untouched.
+  for (const auto kind : {arb::MatchKind::Islip, arb::MatchKind::Qps,
+                          arb::MatchKind::SwQps, arb::MatchKind::Ssvc}) {
+    expect_trace_invariant(engine_scenario(kind));
+    if (HasFailure()) return;  // one divergent engine floods the log
+  }
+}
+
 TEST(KernelInvariance, FuzzTracesIdenticalAcrossKernelAndFF) {
   for (std::uint64_t i = 0; i < 5; ++i) {
     expect_trace_invariant(generate_scenario(i, 2026));
@@ -288,6 +310,29 @@ TEST(DeterminismParallel, GoldenTraceCorpusIdenticalUnderPool) {
   for (std::uint64_t i = 0; i < kCount; ++i) {
     ASSERT_FALSE(serial[i].empty());
     EXPECT_EQ(serial[i], parallel[i]) << "scenario " << i;
+  }
+}
+
+TEST(DeterminismParallel, EngineScenarioTracesIdenticalUnderPool) {
+  // The engine scenarios of the golden corpus are refreshed with --jobs like
+  // every other scenario: rendering them inside pool workers must be
+  // byte-identical to the serial render, for all four engines at once.
+  const std::vector<arb::MatchKind> kinds = {
+      arb::MatchKind::Islip, arb::MatchKind::Qps, arb::MatchKind::SwQps,
+      arb::MatchKind::Ssvc};
+  std::vector<std::string> serial;
+  for (const auto kind : kinds) {
+    serial.push_back(golden_trace(engine_scenario(kind)));
+  }
+  exec::ThreadPool pool(8);
+  const auto parallel = exec::run_batch<std::string>(
+      pool, kinds.size(),
+      [&](std::size_t i) { return golden_trace(engine_scenario(kinds[i])); });
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    ASSERT_FALSE(serial[i].empty());
+    EXPECT_EQ(serial[i], parallel[i])
+        << arb::match_kind_name(kinds[i]);
   }
 }
 

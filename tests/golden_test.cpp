@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "arb/matching.hpp"
 #include "check/scenario.hpp"
 #include "check/trace.hpp"
 
@@ -43,19 +44,21 @@ std::string slurp(const fs::path& p) {
 
 TEST(Golden, CorpusCoversTheFeatureMatrix) {
   const auto files = corpus();
-  ASSERT_GE(files.size(), 6u) << "golden corpus shrank below 6 scenarios";
+  ASSERT_GE(files.size(), 9u) << "golden corpus shrank below 9 scenarios";
 
   bool any_fault = false;
   bool any_clean = false;
   bool any_gl = false;
   std::uint32_t min_radix = 64;
   std::uint32_t max_radix = 2;
+  std::uint64_t engines = 0;  // bitmask over arb::MatchKind values
   for (const auto& f : files) {
     const Scenario s = load_scenario(f.string());
     min_radix = std::min(min_radix, s.radix);
     max_radix = std::max(max_radix, s.radix);
     any_fault |= s.has_faults();
     any_clean |= !s.has_faults();
+    engines |= 1ULL << static_cast<unsigned>(s.matching_engine);
     for (const auto& fl : s.flows) {
       any_gl |= fl.cls == TrafficClass::GuaranteedLatency;
     }
@@ -65,6 +68,12 @@ TEST(Golden, CorpusCoversTheFeatureMatrix) {
   EXPECT_TRUE(any_fault) << "corpus needs a fault-injected scenario";
   EXPECT_TRUE(any_clean) << "corpus needs clean scenarios";
   EXPECT_TRUE(any_gl) << "corpus needs GL traffic";
+  for (const auto kind : {arb::MatchKind::None, arb::MatchKind::Islip,
+                          arb::MatchKind::Qps, arb::MatchKind::SwQps}) {
+    EXPECT_NE(engines & (1ULL << static_cast<unsigned>(kind)), 0u)
+        << "corpus needs a scenario on engine '" << arb::match_kind_name(kind)
+        << "'";
+  }
 }
 
 TEST(Golden, TracesReplayByteExactly) {

@@ -13,6 +13,8 @@
 //     idle-cycle fast-forward on and off,
 //   * heap allocations per step at radix 64 (counted by the ssq_alloc_hook
 //     operator-new interposer; the zero-allocation claim, measured),
+//   * iSLIP matching throughput on the stability-lab cell model (radix 64,
+//     0.9 uniform load) — the hot loop behind bench/stability_lab,
 //   * fuzz-campaign scenario throughput at 1 thread and at --jobs threads
 //     (the parallel point is skipped honestly on single-CPU hosts),
 //   * the same serial campaign run through the ssq_campaign shard runner
@@ -47,10 +49,12 @@
 
 #include <filesystem>
 
+#include "arb/matching.hpp"
 #include "campaign/manifest.hpp"
 #include "campaign/runner.hpp"
 #include "check/differential.hpp"
 #include "check/scenario.hpp"
+#include "check/stability.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/conformance.hpp"
 #include "obs/json.hpp"
@@ -262,6 +266,31 @@ double measure_allocs(std::uint32_t radix, Cycle cycles,
   sim.run(cycles);
   return static_cast<double>(alloc_hook::allocations()) /
          static_cast<double>(cycles);
+}
+
+/// Matching-engine arbitration throughput on the stability-lab cell model:
+/// matched cells per second for iSLIP at radix 64, 0.9 uniform load — the
+/// hot loop of bench/stability_lab, gated so the engines stay fast enough
+/// for the lab's load sweeps. Best-of-three like timed_run().
+double measure_matchings(Cycle cycles) {
+  check::StabilityConfig cfg;
+  cfg.radix = 64;
+  cfg.engine = arb::MatchKind::Islip;
+  cfg.iterations = 3;
+  cfg.pattern = check::TrafficPattern::Uniform;
+  cfg.load = 0.9;
+  cfg.warmup = 2000;
+  cfg.cycles = cycles;
+  cfg.seed = 0xDAC2014;
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const check::StabilityPoint pt = check::measure_stability(cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+    best = std::max(best, static_cast<double>(pt.departed) / wall_s);
+  }
+  return best;
 }
 
 /// Same scenario set as measure_campaign, but run through the campaign
@@ -554,6 +583,11 @@ int main(int argc, char** argv) {
     std::cout << "radix 64 steady-state allocations/step: " << allocs << "\n";
     metrics.emplace_back("allocs_per_step_radix64", allocs);
 
+    const double mps = measure_matchings(cycles);
+    std::cout << "islip matchings (radix 64, 0.9 uniform cell model): "
+              << static_cast<long>(mps) << " matchings/s\n";
+    metrics.emplace_back("matchings_per_sec_islip", mps);
+
     const double sps1 = measure_campaign(scenarios, 1);
     std::cout << "campaign at 1 thread: " << sps1 << " scenarios/s\n";
     metrics.emplace_back("campaign_scenarios_per_sec_jobs1", sps1);
@@ -595,7 +629,8 @@ int main(int argc, char** argv) {
       }
       if (cur < 0.0) continue;  // metric vanished or is campaign_jobs
       const bool is_throughput = name.find("cycles_per_sec") == 0 ||
-                                 name.find("campaign_scenarios_per_sec") == 0;
+                                 name.find("campaign_scenarios_per_sec") == 0 ||
+                                 name.find("matchings_per_sec") == 0;
       if (is_throughput && cur < base * (1.0 - tolerance)) {
         // Cross-host timing baselines are not comparable; warn, don't fail.
         std::cout << (host_matches ? "REGRESSION " : "WARNING (host differs) ")

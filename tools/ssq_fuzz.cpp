@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "arb/matching.hpp"
 #include "check/differential.hpp"
 #include "check/scenario.hpp"
 #include "check/shrink.hpp"
@@ -68,10 +69,16 @@ Checking:
                           with a GB or GL violation fails the campaign (kind
                           qos_violation) and its flight-recorder dump lands
                           next to the repro file
-  --plant=BUG             plant a deliberate defect in the reference model
-                          (self-test: the fuzzer must catch it). BUG is one
-                          of gb_vtick_off_by_one, lrg_no_move_to_back,
-                          gl_allowance_off_by_one, skip_epoch_wrap
+  --engine=NAME           force every generated scenario onto one matching
+                          engine (islip|qps|swqps|ssvc|none). Engine runs are
+                          checked invariants-only plus the progress guard —
+                          see docs/SCHEDULING.md
+  --plant=BUG             plant a deliberate defect (self-test: the fuzzer
+                          must catch it). BUG is one of gb_vtick_off_by_one,
+                          lrg_no_move_to_back, gl_allowance_off_by_one,
+                          skip_epoch_wrap, or engine_starve (swaps in a
+                          never-matching engine; the progress guard must call
+                          starvation)
 
 Telemetry:
   --heartbeat=SECONDS     emit one ssq.fuzz.heartbeat.v1 JSONL progress line
@@ -130,8 +137,8 @@ std::uint64_t parse_u64(const std::string& value, std::string_view option) {
 check::PlantedBug parse_bug(const std::string& value) {
   for (const auto b :
        {check::PlantedBug::GbVtickOffByOne, check::PlantedBug::LrgNoMoveToBack,
-        check::PlantedBug::GlAllowanceOffByOne,
-        check::PlantedBug::SkipEpochWrap}) {
+        check::PlantedBug::GlAllowanceOffByOne, check::PlantedBug::SkipEpochWrap,
+        check::PlantedBug::EngineStarve}) {
     if (value == check::to_string(b)) return b;
   }
   throw ConfigError("unknown --plant bug '" + value + "'");
@@ -290,6 +297,7 @@ int main(int argc, char** argv) {
   std::uint64_t heartbeat_s = 0;  // 0 = no heartbeat telemetry
   std::uint64_t jobs = 1;
   check::CheckOptions opts;
+  std::optional<arb::MatchKind> engine_override;
   bool do_shrink = true;
   bool quiet = false;
   std::string repro_dir = ".";
@@ -324,6 +332,13 @@ int main(int argc, char** argv) {
       } else if (auto vh = opt_value(arg, "--heartbeat")) {
         heartbeat_s = parse_u64(*vh, "--heartbeat");
         if (heartbeat_s == 0) throw ConfigError("--heartbeat must be >= 1");
+      } else if (auto ve = opt_value(arg, "--engine")) {
+        engine_override = arb::parse_match_kind(*ve);
+        if (*engine_override == arb::MatchKind::Starve) {
+          throw ConfigError(
+              "--engine=starve would fail every scenario; use "
+              "--plant=engine_starve for the guard self-test");
+        }
       } else if (auto v4 = opt_value(arg, "--plant")) {
         opts.bug = parse_bug(*v4);
       } else if (auto v5 = opt_value(arg, "--repro-dir")) {
@@ -346,13 +361,28 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Scenario source for campaign/emit modes: generated by index, then the
+    // --engine override (if any) is applied on top. The override composes
+    // with the generated config — the same traffic/fault draw runs on the
+    // requested engine, so sweeping --engine across seeds is a differential
+    // sweep of the engines themselves.
+    const auto make_scenario = [&](std::uint64_t index) {
+      check::Scenario s = check::generate_scenario(index, base_seed);
+      if (engine_override.has_value()) {
+        s.matching_engine = *engine_override;
+        if (*engine_override != arb::MatchKind::None) {
+          s.packet_chaining = false;  // invalid under an engine
+        }
+      }
+      return s;
+    };
+
     // Corpus authoring: serialise one generated scenario and exit.
     if (emit_index.has_value()) {
       if (write_path.empty()) {
         throw ConfigError("--emit needs --write=FILE");
       }
-      const check::Scenario s = check::generate_scenario(*emit_index,
-                                                         base_seed);
+      const check::Scenario s = make_scenario(*emit_index);
       std::ostringstream body;
       check::write_scenario(body, s);
       if (!write_file_atomic(write_path, body.str())) {
@@ -449,7 +479,7 @@ int main(int argc, char** argv) {
           pool, static_cast<std::size_t>(count),
           [&](std::size_t k) {
             const std::uint64_t i = start + k;
-            const check::Scenario s = check::generate_scenario(i, base_seed);
+            const check::Scenario s = make_scenario(i);
             Outcome o;
             o.has_faults = s.has_faults();
             o.result = check::run_scenario(s, opts);
@@ -474,7 +504,7 @@ int main(int argc, char** argv) {
           // A conformance finding, not a divergence: the differential
           // oracle passed, so the shrinker (whose predicate is "run_scenario
           // fails") cannot reproduce it — keep the scenario as generated.
-          const check::Scenario s = check::generate_scenario(i, base_seed);
+          const check::Scenario s = make_scenario(i);
           std::cout << "FAIL " << s.name << ": qos_violation (gb="
                     << r.violations_gb << " gl=" << r.violations_gl
                     << " over " << r.windows_checked
@@ -498,7 +528,7 @@ int main(int argc, char** argv) {
         }
         // Lowest failing index: regenerate the scenario and shrink serially,
         // exactly as the serial campaign would have.
-        const check::Scenario s = check::generate_scenario(i, base_seed);
+        const check::Scenario s = make_scenario(i);
         report_failure(s, r);
         check::Scenario repro = s;
         if (do_shrink) {
