@@ -24,17 +24,6 @@ bool LrgArbiter::beats(InputId i, InputId j) const {
   return (rows_[i] >> j) & 1ULL;
 }
 
-std::uint64_t LrgArbiter::row(InputId i) const {
-  SSQ_EXPECT(i < radix());
-  return rows_[i];
-}
-
-std::uint32_t LrgArbiter::rank(InputId i) const {
-  SSQ_EXPECT(i < radix());
-  // In a strict total order, rank == number of inputs that beat i.
-  return radix() - 1 - static_cast<std::uint32_t>(std::popcount(rows_[i]));
-}
-
 InputId LrgArbiter::pick(std::span<const Request> requests, Cycle /*now*/) {
   check_requests(requests);
   if (requests.empty()) return kNoPort;

@@ -10,6 +10,7 @@
 // output and shared by all classes, matching that layout.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -31,11 +32,26 @@ class LrgArbiter final : public Arbiter {
   [[nodiscard]] bool beats(InputId i, InputId j) const;
 
   /// Row of the beats matrix for input `i` (bit j set == i beats j).
-  [[nodiscard]] std::uint64_t row(InputId i) const;
+  /// (Inline: the differential checker reads every row every cycle.)
+  [[nodiscard]] std::uint64_t row(InputId i) const {
+    SSQ_EXPECT(i < radix());
+    return rows_[i];
+  }
 
   /// Rank of `i` in the current priority order: 0 == most-preferred
-  /// (least recently granted).
-  [[nodiscard]] std::uint32_t rank(InputId i) const;
+  /// (least recently granted). In a strict total order, rank == number of
+  /// inputs that beat i. (Inline: per-input state comparison hot path.)
+  [[nodiscard]] std::uint32_t rank(InputId i) const {
+    SSQ_EXPECT(i < radix());
+    return radix() - 1 -
+           static_cast<std::uint32_t>(std::popcount(rows_[i]));
+  }
+
+  /// Contiguous row storage (radix() words) for the vectorized kernel's
+  /// covering sweep.
+  [[nodiscard]] const std::uint64_t* rows_data() const noexcept {
+    return rows_.data();
+  }
 
   /// Directly installs a beats matrix (used by the circuit-equivalence tests
   /// to enumerate "all valid LRG states" as the paper's §4.1 verification

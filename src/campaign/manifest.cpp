@@ -31,19 +31,38 @@ GridPoint parse_grid_point(const std::string& label) {
       p.opts.state_compare = false;
     } else if (tok == "scalar") {
       p.kernel = core::ArbKernel::Scalar;
+    } else if (tok == "simd") {
+      p.kernel = core::ArbKernel::Simd;
+    } else if (tok.rfind("engine=", 0) == 0) {
+      // Overrides every scenario's matching engine: the sweep then exercises
+      // that engine's invariants-only checking across the whole corpus.
+      p.engine = arb::parse_match_kind(tok.substr(7));
     } else {
       throw ConfigError("unknown grid token '" + tok + "' in '" + label +
-                        "' (expected default, monitor, no-circuit, no-state "
-                        "or scalar, joined with '+')");
+                        "' (expected default, monitor, no-circuit, no-state, "
+                        "scalar, simd or engine=<name>, joined with '+')");
     }
   }
   return p;
 }
 
 std::uint64_t Manifest::shard_begin(std::uint64_t k) const noexcept {
+  // Adaptive tail sizing: the last quarter of the shards carry half the
+  // units of the rest (weight 1 vs 2), so a campaign ends on small shards —
+  // parallel workers converge instead of one worker holding a final
+  // full-size shard while the others idle. Realised by proportional weight
+  // prefixes, which partitions [0, total) exactly for any shard count:
+  // begin(0) == 0, begin(shards) == total, and begins are non-decreasing
+  // because the weight prefix is.
   const std::uint64_t total = total_units();
-  const std::uint64_t per = (total + shards - 1) / shards;  // ceil
-  return std::min(k * per, total);
+  if (k >= shards) return total;
+  const std::uint64_t tail = shards / 4;  // 0 for tiny shard counts
+  const std::uint64_t head = shards - tail;
+  const std::uint64_t weight_sum = 2 * head + tail;
+  const std::uint64_t prefix = 2 * std::min(k, head) + (k > head ? k - head : 0);
+  // 128-bit intermediate: total * prefix can exceed 64 bits on huge sweeps.
+  return static_cast<std::uint64_t>(static_cast<__uint128_t>(total) * prefix /
+                                    weight_sum);
 }
 
 std::uint64_t Manifest::shard_end(std::uint64_t k) const noexcept {

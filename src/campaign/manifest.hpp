@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "arb/matching.hpp"
 #include "check/differential.hpp"
 #include "core/params.hpp"
 
@@ -28,11 +29,14 @@ struct GridPoint {
   std::string label = "default";
   check::CheckOptions opts;
   core::ArbKernel kernel = core::ArbKernel::Bitsliced;
+  /// Matching engine override (None = keep each scenario's own engine; the
+  /// classic differential path). Set by an "engine=<name>" token.
+  arb::MatchKind engine = arb::MatchKind::None;
 };
 
 /// Parses a grid label; throws ssq::ConfigError on an unknown token.
 /// Recognised tokens: default (no-op), monitor, no-circuit, no-state,
-/// scalar.
+/// scalar, simd, engine=<islip|qps|swqps|ssvc>.
 [[nodiscard]] GridPoint parse_grid_point(const std::string& label);
 
 /// Test-only planted harness defects: the robustness teeth. A "hang" makes

@@ -48,7 +48,11 @@ ReferenceOutput::ReferenceOutput(std::uint32_t radix,
         params_, core::ideal_vtick(alloc.gl_rate, alloc.gl_packet_len));
   }
   order_.resize(radix);
-  for (InputId i = 0; i < radix; ++i) order_[i] = i;
+  pos_.resize(radix);
+  for (InputId i = 0; i < radix; ++i) {
+    order_[i] = i;
+    pos_[i] = i;
+  }
 }
 
 void ReferenceOutput::advance_to(Cycle now) {
@@ -63,12 +67,6 @@ void ReferenceOutput::advance_to(Cycle now) {
     epoch_base_ += epoch;
     rt_ -= epoch;
   }
-}
-
-std::uint32_t ReferenceOutput::level_of(std::uint64_t value) const {
-  const std::uint64_t lvl = value >> params_.lsb_bits;
-  const std::uint32_t top = params_.gb_levels() - 1;
-  return lvl < top ? static_cast<std::uint32_t>(lvl) : top;
 }
 
 InputId ReferenceOutput::first_in_order(std::uint64_t bucket) const {
@@ -150,10 +148,16 @@ void ReferenceOutput::on_grant(InputId input, TrafficClass cls, Cycle now) {
              "call advance_to(now) before on_grant()");
 
   if (bug_ != PlantedBug::LrgNoMoveToBack) {
-    auto it = std::find(order_.begin(), order_.end(), input);
-    SSQ_ENSURE(it != order_.end());
-    order_.erase(it);
-    order_.push_back(input);
+    // Move to back, shifting the tail down and keeping pos_ (the inverse
+    // permutation lrg_rank reads) in step — one pass, no linear search.
+    const std::uint32_t p = pos_[input];
+    SSQ_ENSURE(order_[p] == input);
+    for (std::uint32_t k = p; k + 1 < radix_; ++k) {
+      order_[k] = order_[k + 1];
+      pos_[order_[k]] = k;
+    }
+    order_[radix_ - 1] = input;
+    pos_[input] = radix_ - 1;
   }
 
   switch (cls) {
@@ -195,35 +199,6 @@ void ReferenceOutput::on_grant(InputId input, TrafficClass cls, Cycle now) {
     case TrafficClass::BestEffort:
       break;
   }
-}
-
-std::uint64_t ReferenceOutput::value(InputId i) const {
-  SSQ_EXPECT(i < radix_);
-  return value_[i];
-}
-
-std::uint32_t ReferenceOutput::level(InputId i) const {
-  SSQ_EXPECT(i < radix_);
-  return level_of(value_[i]);
-}
-
-std::uint64_t ReferenceOutput::vtick(InputId i) const {
-  SSQ_EXPECT(i < radix_);
-  return vtick_[i];
-}
-
-bool ReferenceOutput::has_gb_reservation(InputId i) const {
-  SSQ_EXPECT(i < radix_);
-  return reserved_[i];
-}
-
-std::uint32_t ReferenceOutput::lrg_rank(InputId i) const {
-  SSQ_EXPECT(i < radix_);
-  for (std::uint32_t k = 0; k < radix_; ++k) {
-    if (order_[k] == i) return k;
-  }
-  SSQ_ENSURE(false && "input missing from LRG order");
-  return 0;
 }
 
 std::vector<std::uint64_t> ReferenceOutput::lrg_rows() const {

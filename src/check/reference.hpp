@@ -33,6 +33,7 @@
 #include "core/gl_tracker.hpp"
 #include "core/output_arbiter.hpp"
 #include "core/params.hpp"
+#include "sim/contracts.hpp"
 #include "sim/types.hpp"
 
 namespace ssq::check {
@@ -84,10 +85,25 @@ class ReferenceOutput {
   [[nodiscard]] const core::SsvcParams& params() const noexcept {
     return params_;
   }
-  [[nodiscard]] std::uint64_t value(InputId i) const;
-  [[nodiscard]] std::uint32_t level(InputId i) const;
-  [[nodiscard]] std::uint64_t vtick(InputId i) const;
-  [[nodiscard]] bool has_gb_reservation(InputId i) const;
+  // (Inline: the differential checker reads these for every input of every
+  // output every cycle — together with lrg_rank they dominate campaign time
+  // when out-of-line.)
+  [[nodiscard]] std::uint64_t value(InputId i) const {
+    SSQ_EXPECT(i < radix_);
+    return value_[i];
+  }
+  [[nodiscard]] std::uint32_t level(InputId i) const {
+    SSQ_EXPECT(i < radix_);
+    return level_of(value_[i]);
+  }
+  [[nodiscard]] std::uint64_t vtick(InputId i) const {
+    SSQ_EXPECT(i < radix_);
+    return vtick_[i];
+  }
+  [[nodiscard]] bool has_gb_reservation(InputId i) const {
+    SSQ_EXPECT(i < radix_);
+    return reserved_[i];
+  }
   [[nodiscard]] std::uint64_t gl_clock() const noexcept { return gl_clock_; }
   [[nodiscard]] std::uint64_t gl_vtick() const noexcept { return gl_vtick_; }
   [[nodiscard]] bool gl_eligible(Cycle now) const;
@@ -100,8 +116,12 @@ class ReferenceOutput {
   [[nodiscard]] const std::vector<InputId>& lrg_order() const noexcept {
     return order_;
   }
-  /// Rank of input i in the order (0 = most preferred).
-  [[nodiscard]] std::uint32_t lrg_rank(InputId i) const;
+  /// Rank of input i in the order (0 = most preferred). O(1): pos_ is the
+  /// maintained inverse permutation of order_.
+  [[nodiscard]] std::uint32_t lrg_rank(InputId i) const {
+    SSQ_EXPECT(i < radix_);
+    return pos_[i];
+  }
   /// Beats-matrix rows equivalent to the order vector, for seeding
   /// arb::LrgArbiter::set_matrix in the bit-level circuit leg.
   [[nodiscard]] std::vector<std::uint64_t> lrg_rows() const;
@@ -109,7 +129,11 @@ class ReferenceOutput {
  private:
   /// First requester in LRG order among `bucket` (bit i = input i requests).
   [[nodiscard]] InputId first_in_order(std::uint64_t bucket) const;
-  [[nodiscard]] std::uint32_t level_of(std::uint64_t value) const;
+  [[nodiscard]] std::uint32_t level_of(std::uint64_t value) const {
+    const std::uint64_t lvl = value >> params_.lsb_bits;
+    const std::uint32_t top = params_.gb_levels() - 1;
+    return lvl < top ? static_cast<std::uint32_t>(lvl) : top;
+  }
 
   std::uint32_t radix_;
   core::SsvcParams params_;
@@ -122,6 +146,7 @@ class ReferenceOutput {
   std::vector<bool> reserved_;          // per input, has a GB reservation
   std::vector<std::uint64_t> value_;    // per input, epoch-relative clock
   std::vector<InputId> order_;          // LRG: front = most preferred
+  std::vector<std::uint32_t> pos_;      // inverse of order_: pos_[order_[k]]==k
   std::uint64_t gl_vtick_ = 0;          // 0 = GL tracking disabled
   std::uint64_t gl_clock_ = 0;
   Cycle epoch_base_ = 0;

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "circuit/lane_masks.hpp"
+#include "core/simd.hpp"
 #include "obs/probe.hpp"
 
 namespace ssq::core {
@@ -51,16 +52,6 @@ OutputQosArbiter::OutputQosArbiter(std::uint32_t radix,
   bucket_.reserve(radix);
 }
 
-const AuxVc& OutputQosArbiter::aux_vc(InputId i) const {
-  SSQ_EXPECT(i < radix_);
-  return gb_vc_[i];
-}
-
-std::uint32_t OutputQosArbiter::gb_level(InputId i) const {
-  SSQ_EXPECT(i < radix_);
-  return gb_vc_[i].level();
-}
-
 AuxVc& OutputQosArbiter::aux_vc_mut(InputId i) {
   SSQ_EXPECT(i < radix_);
   // Whoever takes this reference (fault injector, scrubber, tests) may move
@@ -88,12 +79,6 @@ void OutputQosArbiter::resync_lane_masks() {
     if (gb_vc_[i].corrupted()) still |= 1ULL << i;
   }
   dirty_ = still;
-}
-
-std::uint32_t OutputQosArbiter::sensed_gb_level(InputId i) const {
-  SSQ_EXPECT(i < radix_);
-  const std::uint32_t lvl = gb_vc_[i].arb_level();
-  return lane_map_.empty() ? lvl : lane_map_[lvl];
 }
 
 void OutputQosArbiter::advance_to(Cycle now) {
@@ -176,10 +161,22 @@ InputId OutputQosArbiter::lrg_winner(std::uint64_t mask) const {
   // Same resolution as lrg_pick over the requesters in ascending input
   // order — the order the crossbar always presents. A valid LRG matrix is a
   // total order, so the winner is order-independent.
-  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
-    const auto i = static_cast<InputId>(std::countr_zero(m));
-    const std::uint64_t others = mask & ~(1ULL << i);
-    if ((lrg_.row(i) & others) == others) return i;
+  if (kernel_ == ArbKernel::Simd) {
+    // Vector sweep over all rows at once; the first covering requester is
+    // the first set bit of the intersection — the same input the per-bit
+    // scan below lands on. An empty intersection (corrupt matrix) falls
+    // through to the shared fault-tolerant degradation.
+    const std::uint64_t covering =
+        simd::covering_mask(lrg_.rows_data(), radix_, mask) & mask;
+    if (covering != 0) {
+      return static_cast<InputId>(std::countr_zero(covering));
+    }
+  } else {
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+      const auto i = static_cast<InputId>(std::countr_zero(m));
+      const std::uint64_t others = mask & ~(1ULL << i);
+      if ((lrg_.row(i) & others) == others) return i;
+    }
   }
   if (lrg_.fault_tolerant()) {
     InputId best = static_cast<InputId>(std::countr_zero(mask));
@@ -202,7 +199,7 @@ InputId OutputQosArbiter::lrg_winner(std::uint64_t mask) const {
 InputId OutputQosArbiter::pick(std::span<const ClassRequest> requests,
                                Cycle now) {
   SSQ_EXPECT(now == last_now_ && "call advance_to(now) before pick()");
-  if (kernel_ == ArbKernel::Bitsliced) {
+  if (kernel_ != ArbKernel::Scalar) {
     // One pass packs the request set into the three class masks; all the
     // per-request validity checks of the scalar kernel happen here.
     std::uint64_t gl = 0;
@@ -357,9 +354,14 @@ InputId OutputQosArbiter::pick_masked(std::uint64_t gl_mask,
     const auto n = static_cast<std::uint32_t>(lane_mask_.size());
     std::uint64_t cand = 0;
     std::uint32_t lane = 0;
-    for (; lane < n; ++lane) {
-      cand = gb_mask & lane_mask_[lane];
-      if (cand != 0) break;
+    if (kernel_ == ArbKernel::Simd) {
+      lane = simd::first_hit_lane(lane_mask_.data(), n, gb_mask);
+      if (lane < n) cand = gb_mask & lane_mask_[lane];
+    } else {
+      for (; lane < n; ++lane) {
+        cand = gb_mask & lane_mask_[lane];
+        if (cand != 0) break;
+      }
     }
     SSQ_ENSURE(cand != 0 && "every input occupies exactly one lane");
     std::uint32_t min_level = lane;

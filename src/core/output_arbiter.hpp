@@ -70,7 +70,8 @@ class OutputQosArbiter {
   /// masks (bit i == input i requests in that class; an input may appear in
   /// at most one mask). Semantically identical to pick() over the same
   /// request set presented in ascending input order. Used directly by the
-  /// crossbar's mask path; pick() delegates here under ArbKernel::Bitsliced.
+  /// crossbar's mask path; pick() delegates here under ArbKernel::Bitsliced
+  /// and ArbKernel::Simd (the vectorized schedule of the same resolve).
   [[nodiscard]] InputId pick_masked(std::uint64_t gl_mask,
                                     std::uint64_t gb_mask,
                                     std::uint64_t be_mask, Cycle now);
@@ -103,8 +104,16 @@ class OutputQosArbiter {
   [[nodiscard]] const OutputAllocation& allocation() const noexcept {
     return alloc_;
   }
-  [[nodiscard]] const AuxVc& aux_vc(InputId i) const;
-  [[nodiscard]] std::uint32_t gb_level(InputId i) const;
+  // (Inline: the differential checker compares every input's counter state
+  // against the reference every cycle — these are its hottest reads.)
+  [[nodiscard]] const AuxVc& aux_vc(InputId i) const {
+    SSQ_EXPECT(i < radix_);
+    return gb_vc_[i];
+  }
+  [[nodiscard]] std::uint32_t gb_level(InputId i) const {
+    SSQ_EXPECT(i < radix_);
+    return gb_vc_[i].level();
+  }
   [[nodiscard]] const arb::LrgArbiter& lrg() const noexcept { return lrg_; }
   [[nodiscard]] arb::LrgArbiter& lrg() noexcept { return lrg_; }
   [[nodiscard]] const GlTracker& gl_tracker() const noexcept { return gl_; }
@@ -141,7 +150,11 @@ class OutputQosArbiter {
   /// GB level arbitration actually senses for input `i`: the (possibly
   /// corrupted) thermometer read, then the quarantine remap. Equals
   /// gb_level(i) while the state is clean and no lane is quarantined.
-  [[nodiscard]] std::uint32_t sensed_gb_level(InputId i) const;
+  [[nodiscard]] std::uint32_t sensed_gb_level(InputId i) const {
+    SSQ_EXPECT(i < radix_);
+    const std::uint32_t lvl = gb_vc_[i].arb_level();
+    return lane_map_.empty() ? lvl : lane_map_[lvl];
+  }
 
   /// Takes GB lane `lane` out of service: its occupants merge into the
   /// nearest healthy lane below, so arbitration keeps a total (if coarser)

@@ -1,0 +1,215 @@
+#include "core/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+// AVX2 code is compiled only for x86-64 and only unless explicitly disabled;
+// the portable tier is the complete implementation on every other target.
+#if defined(__x86_64__) && !defined(SSQ_NO_AVX2)
+#define SSQ_SIMD_X86 1
+#else
+#define SSQ_SIMD_X86 0
+#endif
+
+namespace ssq::core::simd {
+
+namespace {
+
+// ---- portable tier ----
+//
+// Straight-line integer loops; GCC auto-vectorizes these to whatever the
+// baseline target allows (SSE2 on x86-64), and they are the reference
+// semantics the AVX2 tier must reproduce bit for bit.
+
+std::uint64_t covering_mask_portable(const std::uint64_t* rows,
+                                     std::uint32_t n,
+                                     std::uint64_t mask) noexcept {
+  std::uint64_t out = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t bit = 1ULL << i;
+    if ((mask & ~bit & ~rows[i]) == 0) out |= bit;
+  }
+  return out;
+}
+
+std::uint32_t first_hit_lane_portable(const std::uint64_t* lanes,
+                                      std::uint32_t n,
+                                      std::uint64_t occ) noexcept {
+  for (std::uint32_t l = 0; l < n; ++l) {
+    if ((lanes[l] & occ) != 0) return l;
+  }
+  return n;
+}
+
+// One xoshiro256** step on scalar state words — must match Rng::operator()().
+std::uint64_t xoshiro_step(std::uint64_t& s0, std::uint64_t& s1,
+                           std::uint64_t& s2, std::uint64_t& s3) noexcept {
+  const auto rotl = [](std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  };
+  const std::uint64_t result = rotl(s1 * 5, 7) * 9;
+  const std::uint64_t t = s1 << 17;
+  s2 ^= s0;
+  s3 ^= s1;
+  s1 ^= s2;
+  s0 ^= s3;
+  s2 ^= t;
+  s3 = rotl(s3, 45);
+  return result;
+}
+
+void xoshiro_batch_portable(std::uint64_t* s0, std::uint64_t* s1,
+                            std::uint64_t* s2, std::uint64_t* s3,
+                            std::uint64_t* out, std::size_t n) noexcept {
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = xoshiro_step(s0[k], s1[k], s2[k], s3[k]);
+  }
+}
+
+#if SSQ_SIMD_X86
+
+// ---- AVX2 tier ----
+//
+// GCC vector extensions compiled under the target("avx2") attribute, so the
+// translation unit itself needs no -mavx2 and non-AVX2 hosts still link the
+// portable tier. Four 64-bit lanes per step; tails fall back to the portable
+// loops (identical arithmetic).
+
+typedef std::uint64_t v4u64 __attribute__((vector_size(32)));
+
+__attribute__((target("avx2"))) v4u64 load4(const std::uint64_t* p) noexcept {
+  v4u64 v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+__attribute__((target("avx2"))) void store4(std::uint64_t* p,
+                                            v4u64 v) noexcept {
+  std::memcpy(p, &v, sizeof(v));
+}
+
+__attribute__((target("avx2"))) std::uint64_t covering_mask_avx2(
+    const std::uint64_t* rows, std::uint32_t n, std::uint64_t mask) noexcept {
+  std::uint64_t out = 0;
+  const v4u64 vmask = {mask, mask, mask, mask};
+  v4u64 bits = {1ULL << 0, 1ULL << 1, 1ULL << 2, 1ULL << 3};
+  std::uint32_t i = 0;
+  for (; i + 4 <= n; i += 4, bits <<= 4) {
+    const v4u64 r = load4(rows + i);
+    // covers(i) <=> every other requester appears in row i:
+    // (mask & ~bit_i & ~row_i) == 0.
+    const v4u64 t = vmask & ~bits & ~r;
+    const v4u64 z = (t == 0);  // all-ones lane where input i covers
+    out |= (z[0] & (1ULL << (i + 0))) | (z[1] & (1ULL << (i + 1))) |
+           (z[2] & (1ULL << (i + 2))) | (z[3] & (1ULL << (i + 3)));
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t bit = 1ULL << i;
+    if ((mask & ~bit & ~rows[i]) == 0) out |= bit;
+  }
+  return out;
+}
+
+__attribute__((target("avx2"))) std::uint32_t first_hit_lane_avx2(
+    const std::uint64_t* lanes, std::uint32_t n, std::uint64_t occ) noexcept {
+  const v4u64 vocc = {occ, occ, occ, occ};
+  std::uint32_t l = 0;
+  for (; l + 4 <= n; l += 4) {
+    const v4u64 hit = (load4(lanes + l) & vocc) != 0;
+    if (hit[0]) return l;
+    if (hit[1]) return l + 1;
+    if (hit[2]) return l + 2;
+    if (hit[3]) return l + 3;
+  }
+  for (; l < n; ++l) {
+    if ((lanes[l] & occ) != 0) return l;
+  }
+  return n;
+}
+
+__attribute__((target("avx2"))) void xoshiro_batch_avx2(
+    std::uint64_t* s0, std::uint64_t* s1, std::uint64_t* s2,
+    std::uint64_t* s3, std::uint64_t* out, std::size_t n) noexcept {
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    v4u64 v0 = load4(s0 + k);
+    v4u64 v1 = load4(s1 + k);
+    v4u64 v2 = load4(s2 + k);
+    v4u64 v3 = load4(s3 + k);
+    // result = rotl(s1 * 5, 7) * 9, with the multiplies strength-reduced
+    // to shift+add so the whole step is shifts/xors/adds.
+    const v4u64 m5 = (v1 << 2) + v1;
+    const v4u64 r7 = (m5 << 7) | (m5 >> 57);
+    const v4u64 res = (r7 << 3) + r7;
+    const v4u64 t = v1 << 17;
+    v2 ^= v0;
+    v3 ^= v1;
+    v1 ^= v2;
+    v0 ^= v3;
+    v2 ^= t;
+    v3 = (v3 << 45) | (v3 >> 19);
+    store4(s0 + k, v0);
+    store4(s1 + k, v1);
+    store4(s2 + k, v2);
+    store4(s3 + k, v3);
+    store4(out + k, res);
+  }
+  for (; k < n; ++k) {
+    out[k] = xoshiro_step(s0[k], s1[k], s2[k], s3[k]);
+  }
+}
+
+SimdTier detect_tier() noexcept {
+  if (const char* env = std::getenv("SSQ_SIMD");
+      env != nullptr && std::strcmp(env, "portable") == 0) {
+    return SimdTier::Portable;
+  }
+  return __builtin_cpu_supports("avx2") ? SimdTier::Avx2 : SimdTier::Portable;
+}
+
+#else  // !SSQ_SIMD_X86
+
+SimdTier detect_tier() noexcept { return SimdTier::Portable; }
+
+#endif  // SSQ_SIMD_X86
+
+}  // namespace
+
+SimdTier active_tier() noexcept {
+  static const SimdTier tier = detect_tier();
+  return tier;
+}
+
+std::uint64_t covering_mask(const std::uint64_t* rows, std::uint32_t n,
+                            std::uint64_t mask) noexcept {
+#if SSQ_SIMD_X86
+  if (active_tier() == SimdTier::Avx2) {
+    return covering_mask_avx2(rows, n, mask);
+  }
+#endif
+  return covering_mask_portable(rows, n, mask);
+}
+
+std::uint32_t first_hit_lane(const std::uint64_t* lanes, std::uint32_t n,
+                             std::uint64_t occ) noexcept {
+#if SSQ_SIMD_X86
+  if (active_tier() == SimdTier::Avx2) {
+    return first_hit_lane_avx2(lanes, n, occ);
+  }
+#endif
+  return first_hit_lane_portable(lanes, n, occ);
+}
+
+void xoshiro_batch(std::uint64_t* s0, std::uint64_t* s1, std::uint64_t* s2,
+                   std::uint64_t* s3, std::uint64_t* out,
+                   std::size_t n) noexcept {
+#if SSQ_SIMD_X86
+  if (active_tier() == SimdTier::Avx2) {
+    xoshiro_batch_avx2(s0, s1, s2, s3, out, n);
+    return;
+  }
+#endif
+  xoshiro_batch_portable(s0, s1, s2, s3, out, n);
+}
+
+}  // namespace ssq::core::simd

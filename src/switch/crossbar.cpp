@@ -86,8 +86,13 @@ CrossbarSwitch::CrossbarSwitch(const SwitchConfig& config,
   throughput_.resize(flows.size());
   gsf_quota_.assign(flows.size(), 0);
   gsf_used_.assign(flows.size(), 0);
+  nonempty_src_flows_.assign(radix, 0);
+  bern_bank_ = std::make_unique<traffic::BernoulliBank>();
   for (FlowId f = 0; f < flows.size(); ++f) {
     injectors_.emplace_back(flows[f], rng_.fork(f));
+    // Eligible (strict-interior Bernoulli) streams migrate into the SoA
+    // bank, advanced 4-wide once per cycle at the top of inject_create().
+    injectors_.back().bind_bank(*bern_bank_);
     input_flows_[flows[f].src].push_back(f);
     latency_.register_flow(flows[f].cls);
     wait_.register_flow(flows[f].cls);
@@ -211,6 +216,7 @@ void CrossbarSwitch::preempt_scan() {
       }
       const FlowId vf = victim.flow;
       source_q_[vf].push_front(std::move(victim));
+      note_source_push(vf, src);
       max_backlog_[vf] = std::max(max_backlog_[vf], source_q_[vf].size());
     }
     inputs_[src].set_free_at(now_);
@@ -236,6 +242,9 @@ std::size_t CrossbarSwitch::max_source_backlog(FlowId f) const {
 }
 
 void CrossbarSwitch::inject_create() {
+  // One lock-step trial for every banked Bernoulli stream; packets_at()
+  // below reads the latched outcomes.
+  if (!bern_bank_->empty()) bern_bank_->roll(now_);
   // Packet creation into source queues.
   for (FlowId f = 0; f < injectors_.size(); ++f) {
     auto& inj = injectors_[f];
@@ -254,6 +263,7 @@ void CrossbarSwitch::inject_create() {
                              source_q_[f].size() + 1);
       }
       source_q_[f].push_back(std::move(p));
+      note_source_push(f, inj.spec().src);
     }
     if (n != 0) {
       // The backlog only grows at a push, so sampling after pushes (here and
@@ -279,10 +289,13 @@ void CrossbarSwitch::inject_admit() {
   }
 
   // Admission: at most one packet per input per cycle, round-robin over the
-  // input's flows.
-  for (InputId i = 0; i < inputs_.size(); ++i) {
+  // input's flows. Only inputs with something queued at the source are
+  // visited (admit_mask_); skipped inputs would fall straight through every
+  // source_q_ empty-check, so the walk order (still ascending) and outcome
+  // are unchanged.
+  for (std::uint64_t mw = admit_mask_; mw != 0; mw &= mw - 1) {
+    const auto i = static_cast<InputId>(std::countr_zero(mw));
     const auto& flows = input_flows_[i];
-    if (flows.empty()) continue;
     // A dead input port admits nothing; its traffic backs up at the source.
     if (fault_ != nullptr && fault_->port_dead(i)) continue;
     const std::size_t nf = flows.size();
@@ -312,6 +325,7 @@ void CrossbarSwitch::inject_admit() {
       }
       inputs_[i].accept(std::move(source_q_[f].front()), now_);
       source_q_[f].pop_front();
+      note_source_pop(f, i);
       if (gsf_quota_[f] > 0) ++gsf_used_[f];
       accept_ptr_[i] = idx + 1 == nf ? 0 : idx + 1;
       break;
@@ -447,6 +461,13 @@ void CrossbarSwitch::start_transmission(Packet&& pkt, OutputId o,
 void CrossbarSwitch::select_requests(
     std::vector<PendingRequest>& pending) const {
   pending.assign(inputs_.size(), PendingRequest{});
+  // Outputs that can start a transmission this cycle, as one bitmask: hoists
+  // the output_idle() probes out of the per-input scans — the GB rotation
+  // pre-ANDs busy outputs away instead of testing them one by one.
+  std::uint64_t idle = 0;
+  for (std::size_t o = 0; o < output_free_at_.size(); ++o) {
+    if (output_free_at_[o] <= now_) idle |= 1ULL << o;
+  }
   for (InputId i = 0; i < inputs_.size(); ++i) {
     const auto& port = inputs_[i];
     if (port.busy(now_)) continue;
@@ -460,17 +481,18 @@ void CrossbarSwitch::select_requests(
     };
     // 1) GL head, if its channel can arbitrate this cycle.
     if (const Packet* h = port.gl_head();
-        h != nullptr && output_idle(h->dst) && link_ok(h->dst)) {
+        h != nullptr && ((idle >> h->dst) & 1) != 0 && link_ok(h->dst)) {
       pending[i] = {h->dst, h->cls, h->length, h->buffered, prio_of(*h)};
       continue;
     }
     // 2) GB heads, rotating over outputs for per-port fairness. The port's
-    // non-empty bitmask narrows the rotating scan to occupied crosspoint
-    // queues (same visit order as scanning every output from gb_pointer()).
+    // non-empty bitmask, masked to idle outputs, narrows the rotating scan
+    // to servable crosspoint queues (same visit order — and so the same
+    // choice — as scanning every output from gb_pointer()).
     bool chosen = false;
-    if (const std::uint64_t occ = port.gb_nonempty(); occ != 0) {
+    if (const std::uint64_t occ = port.gb_nonempty() & idle; occ != 0) {
       const auto try_output = [&](OutputId o) {
-        if (chosen || !output_idle(o) || !link_ok(o)) return;
+        if (chosen || !link_ok(o)) return;
         const Packet* h = port.gb_head(o);
         pending[i] = {o, h->cls, h->length, h->buffered, prio_of(*h)};
         chosen = true;
@@ -487,7 +509,7 @@ void CrossbarSwitch::select_requests(
     if (chosen) continue;
     // 3) BE head.
     if (const Packet* h = port.be_head();
-        h != nullptr && output_idle(h->dst) && link_ok(h->dst)) {
+        h != nullptr && ((idle >> h->dst) & 1) != 0 && link_ok(h->dst)) {
       pending[i] = {h->dst, h->cls, h->length, h->buffered, prio_of(*h)};
     }
   }
@@ -506,7 +528,7 @@ void CrossbarSwitch::arbitrate() {
 
   const std::uint32_t radix = config_.radix;
   const bool ssvc = config_.mode == ArbitrationMode::SsvcQos;
-  if (ssvc && config_.kernel == core::ArbKernel::Bitsliced) {
+  if (ssvc && config_.kernel != core::ArbKernel::Scalar) {
     arbitrate_masked();
     return;
   }

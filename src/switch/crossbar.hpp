@@ -216,6 +216,20 @@ class CrossbarSwitch {
   void complete(Transmission& t, OutputId o);
   Packet pop_for(InputId i, TrafficClass cls, OutputId o);
 
+  // Admit-mask bookkeeping; call right after pushing to / popping from
+  // source_q_[f] (src == the flow's source input).
+  void note_source_push(FlowId f, InputId src) {
+    if (source_q_[f].size() == 1) {
+      if (nonempty_src_flows_[src]++ == 0) admit_mask_ |= 1ULL << src;
+    }
+  }
+  void note_source_pop(FlowId f, InputId src) {
+    if (source_q_[f].empty()) {
+      SSQ_EXPECT(nonempty_src_flows_[src] > 0);
+      if (--nonempty_src_flows_[src] == 0) admit_mask_ &= ~(1ULL << src);
+    }
+  }
+
   SwitchConfig config_;
   traffic::Workload workload_;
   Rng rng_;
@@ -249,12 +263,21 @@ class CrossbarSwitch {
 
   // Traffic plumbing, indexed by FlowId.
   std::vector<traffic::Injector> injectors_;
+  // SoA bank advancing all strict-interior Bernoulli streams in lock-step
+  // (one simd::xoshiro_batch pass per cycle instead of a per-injector roll).
+  // unique_ptr: injectors hold its address, which must survive a switch move.
+  std::unique_ptr<traffic::BernoulliBank> bern_bank_;
   std::vector<RingQueue<Packet>> source_q_;
   std::vector<std::size_t> max_backlog_;
   std::vector<std::uint64_t> delivered_;
   // Per-input list of its flows + acceptance round-robin pointer.
   std::vector<std::vector<FlowId>> input_flows_;
   std::vector<std::size_t> accept_ptr_;
+  // Admission pruning: bit i set <=> some flow sourced at input i has a
+  // non-empty source queue (count kept per input; transitions maintained at
+  // every source_q_ push/pop). inject_admit() walks only these inputs.
+  std::vector<std::uint32_t> nonempty_src_flows_;
+  std::uint64_t admit_mask_ = 0;
   // GSF source regulation: per-flow packet quota per frame and usage in the
   // current frame; frame boundary bookkeeping.
   std::vector<std::uint32_t> gsf_quota_;   // 0 = unregulated (BE/GL)

@@ -1,0 +1,235 @@
+// Byte-identity tests for the SoA batch plane: sw::SwitchBatch and
+// check::run_scenario_batch promise results byte-identical to running each
+// instance serially — any interleaving the lock-step scheduler picks must be
+// invisible, because instances share no state and each receives exactly the
+// serial call sequence. These tests take the promise literally: full JSONL
+// event traces for SwitchBatch, every RunResult field (flight dumps
+// included) for the scenario batch, over the golden corpus and a generated
+// campaign, at several batch widths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/scenario.hpp"
+#include "obs/json.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
+#include "switch/crossbar.hpp"
+#include "switch/switch_batch.hpp"
+#include "traffic/flow.hpp"
+
+namespace ssq::check {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpus() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(SSQ_GOLDEN_DIR)) {
+    if (entry.path().extension() == ".scenario") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// A traced rig: the instantiated scenario plus a JSONL tracer capturing its
+/// full event stream. Address-pinned (the probe holds the tracer, the sim
+/// holds the probe), hence unique_ptr storage below.
+struct TracedRun {
+  ScenarioRun rig;
+  std::ostringstream out;
+  std::unique_ptr<obs::JsonlSink> sink;
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::SwitchProbe> probe;
+
+  explicit TracedRun(const Scenario& s) : rig(instantiate(s)) {
+    sink = std::make_unique<obs::JsonlSink>(out);
+    tracer = std::make_unique<obs::Tracer>(*sink);
+    probe = std::make_unique<obs::SwitchProbe>(s.radix);
+    probe->set_tracer(tracer.get());
+    rig.sim->attach_probe(probe.get());
+  }
+  std::string finish() {
+    rig.sim->attach_probe(nullptr);
+    tracer->finish();
+    return out.str();
+  }
+};
+
+/// A mixed bag of scenarios for the SwitchBatch trace test: generated fuzz
+/// scenarios (different radices, lengths, fault plans) plus one sparse
+/// periodic scenario where fast-forward genuinely engages, so the parking
+/// path is exercised, not just compiled.
+std::vector<Scenario> mixed_scenarios() {
+  std::vector<Scenario> out;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    out.push_back(generate_scenario(i, 0xba7c4));
+  }
+  Scenario sparse;
+  sparse.name = "batch-sparse";
+  sparse.seed = 9;
+  sparse.cycles = 4000;
+  sparse.radix = 8;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    traffic::FlowSpec f;
+    f.src = i;
+    f.dst = 5;
+    f.inject = traffic::InjectKind::Periodic;
+    f.len_min = 8;
+    f.len_max = 8;
+    f.inject_rate = 0.02;  // period 400: long quiescent gaps, FF engages
+    sparse.flows.push_back(f);
+  }
+  out.push_back(sparse);
+  return out;
+}
+
+TEST(SwitchBatch, TracesIdenticalToSerialRuns) {
+  const std::vector<Scenario> scenarios = mixed_scenarios();
+
+  // Serial reference: each rig runs alone, in two legs to also cover
+  // re-entering run() with carried-over state.
+  std::vector<std::string> serial;
+  for (const Scenario& s : scenarios) {
+    TracedRun run(s);
+    run.rig.sim->run(s.cycles / 2);
+    run.rig.sim->run(s.cycles - s.cycles / 2);
+    serial.push_back(run.finish());
+    ASSERT_FALSE(serial.back().empty()) << s.name;
+  }
+
+  // Single-instance batches, re-entered mid-run: the batch scheduler
+  // degenerates to serial order but the batch code path (stride loop,
+  // parking test, per-instance targets) still executes, against the
+  // two-leg serial reference.
+  std::vector<std::unique_ptr<TracedRun>> runs;
+  std::vector<sw::CrossbarSwitch*> sims;
+  for (const Scenario& s : scenarios) {
+    runs.push_back(std::make_unique<TracedRun>(s));
+    sims.push_back(runs.back()->rig.sim.get());
+  }
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    sw::SwitchBatch solo({sims[i]});
+    solo.run(scenarios[i].cycles / 2);
+    solo.run(scenarios[i].cycles - scenarios[i].cycles / 2);
+    EXPECT_EQ(runs[i]->finish(), serial[i]) << scenarios[i].name;
+  }
+
+  // One-leg mixed batch vs one-leg serial reference.
+  std::vector<std::string> serial_one;
+  for (const Scenario& s : scenarios) {
+    TracedRun run(s);
+    run.rig.sim->run(s.cycles);
+    serial_one.push_back(run.finish());
+  }
+  std::vector<std::unique_ptr<TracedRun>> mixed;
+  std::vector<sw::CrossbarSwitch*> mixed_sims;
+  for (const Scenario& s : scenarios) {
+    mixed.push_back(std::make_unique<TracedRun>(s));
+    mixed_sims.push_back(mixed.back()->rig.sim.get());
+  }
+  // Equal-length run: every instance advances its own `cycles`; instances
+  // with shorter scenarios would overrun, so run the minimum and then top
+  // each up individually — per-instance sequences stay serial regardless.
+  sw::SwitchBatch all(mixed_sims);
+  Cycle min_cycles = scenarios.front().cycles;
+  for (const Scenario& s : scenarios) {
+    min_cycles = std::min(min_cycles, s.cycles);
+  }
+  all.run(min_cycles);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (scenarios[i].cycles > min_cycles) {
+      mixed[i]->rig.sim->run(scenarios[i].cycles - min_cycles);
+    }
+    EXPECT_EQ(mixed[i]->finish(), serial_one[i])
+        << scenarios[i].name << " (mixed batch)";
+  }
+}
+
+// ---- run_scenario_batch vs run_scenario -----------------------------------
+
+void expect_equal_results(const RunResult& a, const RunResult& b,
+                          const std::string& context) {
+  EXPECT_EQ(a.failed, b.failed) << context;
+  EXPECT_EQ(a.fail_cycle, b.fail_cycle) << context;
+  EXPECT_EQ(a.output, b.output) << context;
+  EXPECT_EQ(a.kind, b.kind) << context;
+  EXPECT_EQ(a.detail, b.detail) << context;
+  EXPECT_EQ(a.grants_checked, b.grants_checked) << context;
+  EXPECT_EQ(a.delivered, b.delivered) << context;
+  EXPECT_EQ(a.violations_gb, b.violations_gb) << context;
+  EXPECT_EQ(a.violations_gl, b.violations_gl) << context;
+  EXPECT_EQ(a.violations_be, b.violations_be) << context;
+  EXPECT_EQ(a.windows_checked, b.windows_checked) << context;
+  EXPECT_EQ(a.flight_dump, b.flight_dump) << context;
+}
+
+TEST(ScenarioBatch, GoldenCorpusResultsIdenticalToSerial) {
+  CheckOptions opts;
+  opts.monitor = true;
+  opts.flight_recorder = 128;
+  std::vector<Scenario> scenarios;
+  for (const auto& file : corpus()) {
+    scenarios.push_back(load_scenario(file.string()));
+  }
+  ASSERT_GE(scenarios.size(), 9u);
+
+  std::vector<RunResult> serial;
+  std::uint64_t grants = 0;
+  for (const Scenario& s : scenarios) {
+    serial.push_back(run_scenario(s, opts));
+    grants += serial.back().grants_checked;
+  }
+  EXPECT_GT(grants, 0u) << "corpus checked no grants — comparison is vacuous";
+
+  const std::vector<RunResult> batched = run_scenario_batch(scenarios, opts);
+  ASSERT_EQ(batched.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_equal_results(serial[i], batched[i], scenarios[i].name);
+  }
+}
+
+TEST(ScenarioBatch, CampaignVerdictsIdenticalAtWidths1And4And8) {
+  // 200 generated scenarios — the fuzz campaign's own unit of work — split
+  // into blocks of each width, exactly as `ssq_fuzz --batch` and the
+  // batched shard runner do. Every RunResult field must match the serial
+  // run, scenario for scenario.
+  constexpr std::uint64_t kScenarios = 200;
+  CheckOptions opts;
+  std::vector<Scenario> scenarios;
+  for (std::uint64_t i = 0; i < kScenarios; ++i) {
+    scenarios.push_back(generate_scenario(i, 2027));
+  }
+  std::vector<RunResult> serial;
+  for (const Scenario& s : scenarios) {
+    serial.push_back(run_scenario(s, opts));
+  }
+  for (const std::size_t width : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{8}}) {
+    std::vector<RunResult> batched;
+    for (std::size_t start = 0; start < scenarios.size(); start += width) {
+      const std::size_t count =
+          std::min(width, scenarios.size() - start);
+      const std::span<const Scenario> block(scenarios.data() + start, count);
+      std::vector<RunResult> results = run_scenario_batch(block, opts);
+      for (auto& r : results) batched.push_back(std::move(r));
+    }
+    ASSERT_EQ(batched.size(), serial.size()) << "width " << width;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      expect_equal_results(serial[i], batched[i],
+                           scenarios[i].name + " width " +
+                               std::to_string(width));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssq::check

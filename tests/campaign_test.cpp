@@ -321,6 +321,75 @@ TEST(Manifest, MoreShardsThanUnitsLeavesEmptyTrailingShards) {
   EXPECT_EQ(m.shard_end(m.shards - 1), m.total_units());
 }
 
+TEST(Manifest, AdaptiveShardSizingHalvesTheTail) {
+  // The last shards/4 shards carry half the weight of the head shards, so a
+  // straggler that claims late claims less. The algebra must still be an
+  // exact partition: begin(0)=0, begin(shards)=total, monotone, and every
+  // tail shard within a unit of half a head shard.
+  Manifest m;
+  m.scenarios = 100000;
+  m.grid = {parse_grid_point("default")};
+  m.shards = 16;
+  EXPECT_EQ(m.shard_begin(0), 0u);
+  EXPECT_EQ(m.shard_begin(m.shards), m.total_units());
+  std::uint64_t head_min = UINT64_MAX, head_max = 0;
+  std::uint64_t tail_min = UINT64_MAX, tail_max = 0;
+  const std::uint64_t tail = m.shards / 4;
+  for (std::uint64_t k = 0; k < m.shards; ++k) {
+    EXPECT_LE(m.shard_begin(k), m.shard_begin(k + 1)) << "shard " << k;
+    const std::uint64_t size = m.shard_end(k) - m.shard_begin(k);
+    if (k < m.shards - tail) {
+      head_min = std::min(head_min, size);
+      head_max = std::max(head_max, size);
+    } else {
+      tail_min = std::min(tail_min, size);
+      tail_max = std::max(tail_max, size);
+    }
+  }
+  // Within-group sizes differ by at most one unit (integer rounding).
+  EXPECT_LE(head_max - head_min, 1u);
+  EXPECT_LE(tail_max - tail_min, 1u);
+  // Tail shards are half-weight: half a head shard, up to rounding.
+  EXPECT_LE(tail_max, head_min / 2 + 1);
+  EXPECT_GE(tail_min + 1, head_max / 2);
+}
+
+TEST(Manifest, TinyShardCountsStayUniform) {
+  // shards/4 == 0 below 4 shards: no tail group, equal split as before.
+  for (const std::uint64_t shards : {1ull, 2ull, 3ull}) {
+    Manifest m;
+    m.scenarios = 999;
+    m.grid = {parse_grid_point("default")};
+    m.shards = shards;
+    std::uint64_t min_size = UINT64_MAX, max_size = 0;
+    for (std::uint64_t k = 0; k < m.shards; ++k) {
+      const std::uint64_t size = m.shard_end(k) - m.shard_begin(k);
+      min_size = std::min(min_size, size);
+      max_size = std::max(max_size, size);
+    }
+    EXPECT_LE(max_size - min_size, 1u) << "shards=" << shards;
+    EXPECT_EQ(m.shard_end(m.shards - 1), m.total_units());
+  }
+}
+
+TEST(Manifest, SimdAndEngineGridTokensParse) {
+  const GridPoint simd = parse_grid_point("simd");
+  EXPECT_EQ(simd.kernel, core::ArbKernel::Simd);
+  const GridPoint eng = parse_grid_point("engine=islip");
+  EXPECT_EQ(eng.engine, arb::MatchKind::Islip);
+  const GridPoint both = parse_grid_point("simd+engine=qps+monitor");
+  EXPECT_EQ(both.kernel, core::ArbKernel::Simd);
+  EXPECT_EQ(both.engine, arb::MatchKind::Qps);
+  EXPECT_TRUE(both.opts.monitor);
+  // Round-trips through the manifest identity like any other token.
+  Manifest m = tiny_manifest();
+  m.grid = {both};
+  const Manifest back = parse_manifest(m.serialize());
+  EXPECT_EQ(back.grid.at(0).kernel, core::ArbKernel::Simd);
+  EXPECT_EQ(back.grid.at(0).engine, arb::MatchKind::Qps);
+  EXPECT_THROW(parse_grid_point("engine=warp"), ConfigError);
+}
+
 TEST(Manifest, UnitToGridAndScenarioMapping) {
   Manifest m;
   m.scenarios = 10;
@@ -400,6 +469,28 @@ TEST_F(CampaignTest, RunShardCompletesAndMergeAccountsEveryUnit) {
   EXPECT_EQ(r.ok + r.failed + r.quarantined, r.completed);
   EXPECT_EQ(r.skipped, 0u);
   EXPECT_TRUE(r.complete());
+  EXPECT_GT(r.grants, 0u);
+}
+
+TEST_F(CampaignTest, EngineGridPointsRunChainingScenariosClean) {
+  // A forced matching engine is incompatible with packet chaining, so the
+  // runner must strip the chaining knob from generated scenarios (exactly as
+  // `ssq_fuzz --engine=` does) instead of letting every chaining scenario
+  // die with a ConfigError and drain the attempt budget into quarantine.
+  Manifest m = tiny_manifest();
+  m.scenarios = 30;  // enough draws that some scenarios enable chaining
+  m.grid = {parse_grid_point("simd+engine=qps")};
+  const std::string d = dir() + "/engine";
+  init_campaign_dir(d, m);
+  RunnerHooks hooks;
+  hooks.durable = false;
+  for (std::uint64_t k = 0; k < m.shards; ++k) {
+    ASSERT_EQ(run_shard(d, m, k, hooks), ShardOutcome::Completed);
+  }
+  const Report r = merge_checkpoints(d, m);
+  EXPECT_EQ(r.completed, m.total_units());
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.quarantined, 0u);
   EXPECT_GT(r.grants, 0u);
 }
 

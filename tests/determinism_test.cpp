@@ -149,7 +149,8 @@ void expect_trace_invariant(const Scenario& base) {
   const std::string ref = jsonl_trace(stepped);
   ASSERT_FALSE(ref.empty());
   for (const auto kernel :
-       {core::ArbKernel::Scalar, core::ArbKernel::Bitsliced}) {
+       {core::ArbKernel::Scalar, core::ArbKernel::Bitsliced,
+        core::ArbKernel::Simd}) {
     for (const bool ff : {false, true}) {
       EXPECT_EQ(ref, jsonl_trace_run(base, kernel, ff))
           << base.name << " kernel=" << core::to_string(kernel)
@@ -225,6 +226,12 @@ TEST(KernelInvariance, FastForwardEngagesOnSparseTrafficWithoutTraceDrift) {
       jsonl_trace_run(s, core::ArbKernel::Bitsliced, false, &noff_skipped);
   EXPECT_EQ(noff_skipped, 0u);
   EXPECT_EQ(ref, noff_trace);
+  // The SIMD kernel through the same genuinely-engaging fast-forward run.
+  Cycle simd_skipped = 0;
+  const std::string simd_trace =
+      jsonl_trace_run(s, core::ArbKernel::Simd, true, &simd_skipped);
+  EXPECT_GT(simd_skipped, s.cycles / 2);
+  EXPECT_EQ(ref, simd_trace);
 }
 
 // -- Determinism under parallelism -----------------------------------------
@@ -286,9 +293,13 @@ TEST(DeterminismParallel, HundredScenarioCampaignIdenticalAcrossKernelAndFF) {
   const auto fast = run_campaign(4, 100, 99);
   const auto slow =
       run_campaign(4, 100, 99, core::ArbKernel::Scalar, /*fast_forward=*/false);
+  const auto simd =
+      run_campaign(4, 100, 99, core::ArbKernel::Simd, /*fast_forward=*/true);
   ASSERT_EQ(fast.size(), slow.size());
+  ASSERT_EQ(fast.size(), simd.size());
   for (std::size_t i = 0; i < fast.size(); ++i) {
     EXPECT_EQ(fast[i], slow[i]) << "scenario " << i;
+    EXPECT_EQ(fast[i], simd[i]) << "scenario " << i << " (simd kernel)";
     EXPECT_FALSE(fast[i].failed) << "scenario " << i << ": " << fast[i].kind;
   }
 }

@@ -107,7 +107,7 @@ TEST(Golden, TracesReplayByteExactly) {
 }
 
 TEST(Golden, TracesInvariantAcrossKernelAndFastForward) {
-  // The committed traces are the ground truth for BOTH arbitration kernels
+  // The committed traces are the ground truth for ALL arbitration kernels
   // and for idle-cycle fast-forward on/off: a kernel or fast-forward bug
   // that shifts a single grant or event timestamp shows up as a corpus diff.
   for (const auto& file : corpus()) {
@@ -116,7 +116,8 @@ TEST(Golden, TracesInvariantAcrossKernelAndFastForward) {
     trace_file.replace_extension(".trace");
     const std::string expected = slurp(trace_file);
     for (const auto kernel :
-         {core::ArbKernel::Scalar, core::ArbKernel::Bitsliced}) {
+         {core::ArbKernel::Scalar, core::ArbKernel::Bitsliced,
+          core::ArbKernel::Simd}) {
       for (const bool ff : {false, true}) {
         s.kernel = kernel;
         s.fast_forward = ff;

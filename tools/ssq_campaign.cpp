@@ -48,7 +48,8 @@ Manifest (with --new; immutable afterwards):
                           of claiming, checkpointing and resume
   --grid=A,B,...          checking configurations; each label combines
                           tokens with '+': default, monitor, no-circuit,
-                          no-state, scalar (default "default")
+                          no-state, scalar, simd, engine=<islip|qps|swqps|
+                          ssvc> (default "default")
   --max-attempts=N        attempts before a crashing/hanging scenario is
                           quarantined (default 3)
   --scenario-timeout-ms=N watchdog: a worker silent this long is killed and
