@@ -231,6 +231,34 @@ void BM_SwitchStepSparse(benchmark::State& state, bool fast_forward) {
       static_cast<double>(sim.ff_idle_stepped_cycles());
 }
 
+// The same saturated stepping with the step pipeline selection toggled:
+// `specialized` runs the compile-time instantiation matching the (detached)
+// attachment state, `generic` forces the fully dynamic pipeline that
+// branches on every hook pointer each cycle (config.specialize = false).
+// The gap is exactly the per-cycle cost specialization removes; both
+// variants are byte-identical in behaviour (the determinism suites assert
+// it), so this is a pure execution-cost comparison.
+void BM_SwitchStepPipeline(benchmark::State& state, bool specialize) {
+  const std::vector<double> rates = {0.40, 0.20, 0.10, 0.10,
+                                     0.05, 0.05, 0.05, 0.05};
+  traffic::Workload w(8);
+  for (InputId i = 0; i < 8; ++i) {
+    w.add_flow(bench::make_gb_flow(i, 0, rates[i], 8, 0.9));
+  }
+  auto config = bench::paper_switch_config();
+  config.specialize = specialize;
+  sw::CrossbarSwitch sim(config, std::move(w));
+  sim.warmup(2000);
+
+  constexpr Cycle kChunk = 1000;
+  for (auto _ : state) {
+    sim.run(kChunk);
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kChunk));
+}
+
 // B independent radix-64 hotspot switches stepped lock-step through
 // sw::SwitchBatch (the SoA batch plane behind `ssq_fuzz --batch` and the
 // batched shard runner). items_per_second counts simulated cycles SUMMED
@@ -345,6 +373,8 @@ BENCHMARK_CAPTURE(BM_SwitchStep, obs_off, ObsMode::Off);
 BENCHMARK_CAPTURE(BM_SwitchStep, obs_metrics, ObsMode::Metrics);
 BENCHMARK_CAPTURE(BM_SwitchStep, obs_trace_null_sink, ObsMode::Trace);
 BENCHMARK_CAPTURE(BM_SwitchStep, obs_monitor, ObsMode::Monitor);
+BENCHMARK_CAPTURE(BM_SwitchStepPipeline, specialized, true);
+BENCHMARK_CAPTURE(BM_SwitchStepPipeline, generic, false);
 BENCHMARK_CAPTURE(BM_SwitchStepFaults, fault_detached, FaultMode::Detached);
 BENCHMARK_CAPTURE(BM_SwitchStepFaults, fault_empty_plan, FaultMode::EmptyPlan);
 BENCHMARK_CAPTURE(BM_SwitchStepFaults, fault_active_scrubbed,

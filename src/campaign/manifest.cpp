@@ -33,6 +33,8 @@ GridPoint parse_grid_point(const std::string& label) {
       p.kernel = core::ArbKernel::Scalar;
     } else if (tok == "simd") {
       p.kernel = core::ArbKernel::Simd;
+    } else if (tok == "noff") {
+      p.fast_forward = false;
     } else if (tok.rfind("engine=", 0) == 0) {
       // Overrides every scenario's matching engine: the sweep then exercises
       // that engine's invariants-only checking across the whole corpus.
@@ -40,7 +42,8 @@ GridPoint parse_grid_point(const std::string& label) {
     } else {
       throw ConfigError("unknown grid token '" + tok + "' in '" + label +
                         "' (expected default, monitor, no-circuit, no-state, "
-                        "scalar, simd or engine=<name>, joined with '+')");
+                        "scalar, simd, noff or engine=<name>, joined with "
+                        "'+')");
     }
   }
   return p;

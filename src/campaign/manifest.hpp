@@ -32,11 +32,15 @@ struct GridPoint {
   /// Matching engine override (None = keep each scenario's own engine; the
   /// classic differential path). Set by an "engine=<name>" token.
   arb::MatchKind engine = arb::MatchKind::None;
+  /// Idle-cycle fast-forward; a "noff" token turns it off so a grid can pit
+  /// a fast-forwarded point against its fully-stepped twin (byte-identical
+  /// verdicts by construction — the event-horizon regression sweep).
+  bool fast_forward = true;
 };
 
 /// Parses a grid label; throws ssq::ConfigError on an unknown token.
 /// Recognised tokens: default (no-op), monitor, no-circuit, no-state,
-/// scalar, simd, engine=<islip|qps|swqps|ssvc>.
+/// scalar, simd, noff, engine=<islip|qps|swqps|ssvc>.
 [[nodiscard]] GridPoint parse_grid_point(const std::string& label);
 
 /// Test-only planted harness defects: the robustness teeth. A "hang" makes

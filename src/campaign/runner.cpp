@@ -272,6 +272,7 @@ ShardOutcome run_shard(const std::string& dir, const Manifest& m,
     try {
       u.scenario = check::generate_scenario(i, m.base_seed);
       u.scenario.kernel = m.grid[g].kernel;
+      u.scenario.fast_forward = m.grid[g].fast_forward;
       if (m.grid[g].engine != arb::MatchKind::None) {
         u.scenario.matching_engine = m.grid[g].engine;
         u.scenario.packet_chaining = false;  // invalid under an engine

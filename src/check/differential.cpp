@@ -106,7 +106,9 @@ bool DifferentialChecker::run(Cycle cycles) {
       // either model predicts from, so the checker skips it exactly as the
       // bare switch does — per-cycle checks on it would compare two
       // untouched states.
+      const Cycle from = sim_.now();
       sim_.fast_forward(end);
+      if (sim_.now() > from) on_fast_forward();
       if (sim_.now() >= end) break;
     }
     if (!step()) return false;

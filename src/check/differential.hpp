@@ -86,6 +86,12 @@ class DifferentialChecker {
   /// step() up to `cycles` times; returns false if a divergence stopped it.
   bool run(Cycle cycles);
 
+  /// For drivers that call sim.fast_forward() themselves instead of going
+  /// through run(): the skipped cycles carried no requests, so a stepped run
+  /// would have reset the engine stall streak on every one of them. Call
+  /// after any fast_forward() that advanced the clock.
+  void on_fast_forward() noexcept { stall_streak_ = 0; }
+
   [[nodiscard]] const std::optional<Divergence>& divergence() const noexcept {
     return divergence_;
   }

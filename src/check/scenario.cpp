@@ -161,6 +161,7 @@ sw::SwitchConfig Scenario::build_config() const {
   config.seed = seed;
   config.kernel = kernel;
   config.fast_forward = fast_forward;
+  config.specialize = specialize;
   config.validate();
   return config;
 }
@@ -704,7 +705,9 @@ struct ScenarioExec {
     }
     if (!checker->divergence().has_value() && sim.fast_forward_eligible() &&
         sim.quiescent()) {
+      const Cycle from = sim.now();
       sim.fast_forward(end);
+      if (sim.now() > from) checker->on_fast_forward();
       if (sim.now() >= end) {
         done = true;
         return false;

@@ -65,6 +65,8 @@ struct Scenario {
   /// sweeping these over the same scenarios).
   core::ArbKernel kernel = core::ArbKernel::Bitsliced;
   bool fast_forward = true;
+  /// Compile-time specialized step pipeline (off = fully dynamic pipeline).
+  bool specialize = true;
 
   [[nodiscard]] bool has_faults() const noexcept { return !faults.empty(); }
 

@@ -1,5 +1,7 @@
 #include "fault/injector.hpp"
 
+#include <algorithm>
+
 #include "core/output_arbiter.hpp"
 #include "obs/probe.hpp"
 #include "sim/contracts.hpp"
@@ -89,7 +91,15 @@ void FaultInjector::apply_stuck_lanes(Cycle now) {
 }
 
 void FaultInjector::inject_bitflip(Cycle now) {
-  if (arbs_.empty() || !rng_.bernoulli(plan_.bitflip_rate)) return;
+  if (arbs_.empty()) return;
+  if (now < rolled_until_) {
+    // This cycle's Bernoulli was pre-rolled by scan_fire(); honour it.
+    if (pending_fire_ != now) return;
+    pending_fire_ = kNoCycle;
+  } else {
+    rolled_until_ = now + 1;
+    if (!rng_.bernoulli(plan_.bitflip_rate)) return;
+  }
   // Draw the victim. The draw order is fixed so equal plans replay equal
   // schedules regardless of what the faults do to the switch.
   const auto target = static_cast<std::uint32_t>(rng_.below(4));
@@ -133,6 +143,47 @@ void FaultInjector::on_cycle(Cycle now) {
   update_outages(now);
   apply_stuck_lanes(now);
   inject_bitflip(now);
+}
+
+Cycle FaultInjector::next_event(Cycle now) const noexcept {
+  // Static plan schedule only: outage edges and stuck-lane starts are the
+  // cycles where update_outages/apply_stuck_lanes do something new. Ongoing
+  // stuck-lane reassertion is idempotent and therefore horizon-free (see the
+  // header); bitflips are covered separately by scan_fire().
+  Cycle next = kNoCycle;
+  const auto consider = [&](Cycle at) {
+    if (at != kNoCycle && at >= now && at < next) next = at;
+  };
+  for (const auto& k : plan_.port_kills) {
+    consider(k.at);
+    consider(k.restore_at);
+  }
+  for (const auto& k : plan_.crosspoint_kills) {
+    consider(k.at);
+    consider(k.restore_at);
+  }
+  for (const auto& s : plan_.stuck_lanes) consider(s.at);
+  return next;
+}
+
+Cycle FaultInjector::scan_fire(Cycle now, Cycle limit) {
+  if (pending_fire_ != kNoCycle) {
+    return pending_fire_ >= now && pending_fire_ < limit ? pending_fire_
+                                                         : kNoCycle;
+  }
+  // Roll forward from wherever the stream last stopped; cycles before `now`
+  // were already consumed by stepping. One Bernoulli per cycle, in cycle
+  // order — exactly the draws a stepped run would make, so a jumped run and
+  // a stepped run consume the same stream.
+  for (Cycle c = std::max(now, rolled_until_); c < limit; ++c) {
+    if (rng_.bernoulli(plan_.bitflip_rate)) {
+      pending_fire_ = c;
+      rolled_until_ = c + 1;
+      return c;
+    }
+  }
+  rolled_until_ = std::max(rolled_until_, limit);
+  return kNoCycle;
 }
 
 }  // namespace ssq::fault

@@ -47,6 +47,37 @@ class FaultInjector {
   /// Runs one cycle of the plan. Called by the switch at the top of step().
   void on_cycle(Cycle now);
 
+  // ---- event-horizon API (idle-cycle fast-forward) ----
+  //
+  // The injector's observable actions split into two kinds:
+  //   * schedule-driven (outage edges, stuck-lane starts): fire at cycles
+  //     known from the plan alone — next_event() reports the earliest one,
+  //   * RNG-driven (bitflips): decided by one Bernoulli draw per cycle —
+  //     scan_fire() pre-rolls those draws over a candidate jump window and
+  //     reports the first firing cycle (pre-rolled outcomes are remembered,
+  //     so a later stepped on_cycle() consumes the exact same decision).
+  // Stuck-lane *reassertion* needs no horizon: corruption is idempotent and
+  // every cycle where arbiter state can change is itself a full step, so
+  // reasserting only on stepped cycles is observationally identical.
+
+  /// Earliest plan-scheduled cycle >= now at which the injector must run a
+  /// full step (outage at/restore edges, stuck-lane starts). kNoCycle when
+  /// the remaining plan is silent.
+  [[nodiscard]] Cycle next_event(Cycle now) const noexcept;
+
+  /// True when the per-cycle bitflip Bernoulli stream is live (bound arbiters
+  /// and a positive rate) — the stream then constrains fast-forward.
+  [[nodiscard]] bool has_bitflip_rng() const noexcept {
+    return !arbs_.empty() && plan_.bitflip_rate > 0.0;
+  }
+
+  /// Pre-rolls the bitflip Bernoulli draws for cycles [now, limit) and
+  /// returns the first cycle that fires, or kNoCycle if none do. Cycles
+  /// whose draw has already been decided (by stepping or a previous scan)
+  /// are never re-rolled; a pending firing cycle is sticky until the
+  /// stepped on_cycle() at that cycle consumes it.
+  [[nodiscard]] Cycle scan_fire(Cycle now, Cycle limit);
+
   // ---- outage queries (switch hot path; call only when attached) ----
   [[nodiscard]] bool port_dead(InputId i) const noexcept {
     return (dead_ports_ >> i) & 1ULL;
@@ -77,6 +108,12 @@ class FaultInjector {
   std::vector<std::uint64_t> dead_links_;  // per input: bitmask of outputs
   bool any_outage_ = false;
   std::vector<InjectedFault> log_;
+  // Bitflip pre-roll state: every cycle < rolled_until_ has had its
+  // Bernoulli decided; pending_fire_ is the one undelivered firing cycle
+  // (kNoCycle if none). Invariant: pending_fire_ == kNoCycle or
+  // pending_fire_ < rolled_until_.
+  Cycle rolled_until_ = 0;
+  Cycle pending_fire_ = kNoCycle;
 };
 
 }  // namespace ssq::fault

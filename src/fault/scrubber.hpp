@@ -44,6 +44,12 @@ class StateScrubber {
   /// Forces a pass immediately; returns the number of repairs it made.
   std::uint32_t scrub_now(Cycle now);
 
+  /// Event horizon for idle-cycle fast-forward: the cycle of the next
+  /// scheduled pass. A fast-forwarding switch must take a full step at this
+  /// cycle so the pass (and its quarantine counting) runs exactly when a
+  /// stepped run would have run it.
+  [[nodiscard]] Cycle next_event() const noexcept { return next_; }
+
   [[nodiscard]] Cycle interval() const noexcept { return interval_; }
   [[nodiscard]] std::uint64_t passes() const noexcept { return passes_; }
   [[nodiscard]] std::uint64_t repairs() const noexcept { return repairs_; }

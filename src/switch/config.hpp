@@ -87,15 +87,26 @@ struct SwitchConfig {
   core::ArbKernel kernel = core::ArbKernel::Bitsliced;
 
   /// Idle-cycle fast-forward: when no packet exists anywhere in the switch,
-  /// run() skips ahead — jumping the clock to the next injector activity
-  /// when every injector can predict it, or at minimum stepping a
-  /// creation-only fast path — instead of burning full cycles. Exact: an
-  /// eligible idle cycle touches no arbiter, queue, stats or probe state,
-  /// and epoch wraps are already deferred to the next request's
-  /// advance_to(). Auto-disabled (regardless of this flag) for baseline
-  /// mode, GSF regulation, and attached fault injectors/scrubbers, whose
-  /// per-cycle hooks make idle cycles observable.
+  /// run() skips ahead — jumping the clock to the minimum event horizon
+  /// over every per-cycle consumer (injector next-active cycles, the fault
+  /// plan's outage/stuck schedule, the pre-rolled bitflip stream, the
+  /// scrubber's next pass — see switch/event_horizon.hpp), or at minimum
+  /// stepping a creation-only fast path. Exact: an eligible idle cycle
+  /// touches no arbiter, queue, stats or probe state; epoch wraps defer to
+  /// the next request's advance_to(); GSF frame state catches up
+  /// retroactively; window consumers coalesce via clock_jump. Faulted,
+  /// scrubbed, monitored and GSF runs all stay byte-identical to their
+  /// stepped equivalents. Auto-disabled (regardless of this flag) only for
+  /// baseline mode, whose arbiters tick on_idle() every cycle.
   bool fast_forward = true;
+
+  /// Compile-time specialized step pipelines: select the step() loop
+  /// instantiation matching the attachment state {probe, fault/scrub, GSF}
+  /// once per attach instead of branching on the hook pointers every cycle.
+  /// Semantically identical — the determinism suites assert byte-identical
+  /// traces across both — so this is a performance knob (off = always run
+  /// the fully dynamic pipeline, mainly for differential testing).
+  bool specialize = true;
 
   ArbitrationMode mode = ArbitrationMode::SsvcQos;
   /// Baseline arbiter kind when mode == Baseline. Rate-parameterised kinds

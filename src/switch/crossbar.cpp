@@ -107,6 +107,34 @@ CrossbarSwitch::CrossbarSwitch(const SwitchConfig& config,
     }
   }
   throughput_.open_window(0);
+  // Baseline arbiters tick on_idle() every cycle, which makes idle cycles
+  // observable; every other per-cycle consumer participates in the
+  // event-horizon protocol, so SSVC-mode configs are always eligible.
+  ff_eligible_ = config_.fast_forward && config_.mode == ArbitrationMode::SsvcQos;
+  select_pipeline();
+}
+
+void CrossbarSwitch::select_pipeline() noexcept {
+  if (!config_.specialize) {
+    step_fn_ = &CrossbarSwitch::step_impl<DynPolicy>;
+    return;
+  }
+  // Index bits: probe | fault-or-scrub | gsf. The table pins all eight
+  // static instantiations (plus DynPolicy above) into this TU.
+  static constexpr void (CrossbarSwitch::*kPipelines[8])() = {
+      &CrossbarSwitch::step_impl<StaticPolicy<false, false, false>>,
+      &CrossbarSwitch::step_impl<StaticPolicy<false, false, true>>,
+      &CrossbarSwitch::step_impl<StaticPolicy<false, true, false>>,
+      &CrossbarSwitch::step_impl<StaticPolicy<false, true, true>>,
+      &CrossbarSwitch::step_impl<StaticPolicy<true, false, false>>,
+      &CrossbarSwitch::step_impl<StaticPolicy<true, false, true>>,
+      &CrossbarSwitch::step_impl<StaticPolicy<true, true, false>>,
+      &CrossbarSwitch::step_impl<StaticPolicy<true, true, true>>,
+  };
+  const unsigned idx = (obs_ != nullptr ? 4u : 0u) |
+                       ((fault_ != nullptr || scrub_ != nullptr) ? 2u : 0u) |
+                       (config_.gsf.enabled ? 1u : 0u);
+  step_fn_ = kPipelines[idx];
 }
 
 const InputPort& CrossbarSwitch::input(InputId i) const {
@@ -123,10 +151,12 @@ void CrossbarSwitch::attach_probe(obs::SwitchProbe* probe) {
     qos_[o]->set_probe(probe, o);
   }
   if (fault_ != nullptr) fault_->set_probe(probe);
+  select_pipeline();
 }
 
 void CrossbarSwitch::attach_fault_injector(fault::FaultInjector* injector) {
   fault_ = injector;
+  select_pipeline();
   if (injector == nullptr) return;
   std::vector<core::OutputQosArbiter*> arbs;
   arbs.reserve(qos_.size());
@@ -140,6 +170,7 @@ void CrossbarSwitch::attach_fault_injector(fault::FaultInjector* injector) {
 
 void CrossbarSwitch::attach_scrubber(fault::StateScrubber* scrubber) {
   scrub_ = scrubber;
+  select_pipeline();
   if (scrubber == nullptr) return;
   std::vector<core::OutputQosArbiter*> arbs;
   arbs.reserve(qos_.size());
@@ -241,6 +272,7 @@ std::size_t CrossbarSwitch::max_source_backlog(FlowId f) const {
   return max_backlog_[f];
 }
 
+template <class P>
 void CrossbarSwitch::inject_create() {
   // One lock-step trial for every banked Bernoulli stream; packets_at()
   // below reads the latched outcomes.
@@ -258,9 +290,9 @@ void CrossbarSwitch::inject_create() {
       p.cls = inj.spec().cls;
       p.length = inj.draw_length();
       p.created = now_;
-      if (obs_ != nullptr) {
-        obs_->packet_created(now_, f, p.id, p.src, p.dst, p.cls, p.length,
-                             source_q_[f].size() + 1);
+      if (obs::SwitchProbe* pr = p_probe<P>(); pr != nullptr) {
+        pr->packet_created(now_, f, p.id, p.src, p.dst, p.cls, p.length,
+                           source_q_[f].size() + 1);
       }
       source_q_[f].push_back(std::move(p));
       note_source_push(f, inj.spec().src);
@@ -275,13 +307,22 @@ void CrossbarSwitch::inject_create() {
   }
 }
 
+template <class P>
 void CrossbarSwitch::inject_admit() {
   // GSF frame bookkeeping: reset quotas at frame boundaries; injection of
   // regulated flows pauses during the barrier window.
   bool gsf_barrier = false;
-  if (config_.gsf.enabled) {
+  if (p_gsf<P>()) {
     if (now_ - gsf_frame_start_ >= config_.gsf.frame_cycles) {
-      gsf_frame_start_ = now_;
+      // Catch up whole frames — one in stepped runs, possibly many after a
+      // fast-forward jump — keeping the boundary grid aligned to cycle 0.
+      // Assigning now_ here instead would shear the grid after a jump; the
+      // modulo form is identical when stepping (the quotient is 1: the
+      // boundary is checked every cycle, so the distance is exactly one
+      // frame when it triggers).
+      gsf_frame_start_ +=
+          ((now_ - gsf_frame_start_) / config_.gsf.frame_cycles) *
+          config_.gsf.frame_cycles;
       for (auto& used : gsf_used_) used = 0;
     }
     gsf_barrier =
@@ -293,11 +334,12 @@ void CrossbarSwitch::inject_admit() {
   // visited (admit_mask_); skipped inputs would fall straight through every
   // source_q_ empty-check, so the walk order (still ascending) and outcome
   // are unchanged.
+  fault::FaultInjector* const fi = p_fault<P>();
   for (std::uint64_t mw = admit_mask_; mw != 0; mw &= mw - 1) {
     const auto i = static_cast<InputId>(std::countr_zero(mw));
     const auto& flows = input_flows_[i];
     // A dead input port admits nothing; its traffic backs up at the source.
-    if (fault_ != nullptr && fault_->port_dead(i)) continue;
+    if (fi != nullptr && fi->port_dead(i)) continue;
     const std::size_t nf = flows.size();
     for (std::size_t k = 0; k < nf; ++k) {
       // accept_ptr_ < nf and k < nf, so one conditional subtract replaces
@@ -311,17 +353,17 @@ void CrossbarSwitch::inject_admit() {
         continue;  // GSF: out of frame quota, or inside the barrier window
       }
       if (!inputs_[i].can_accept(source_q_[f].front())) {
-        if (obs_ != nullptr) {
+        if (obs::SwitchProbe* pr = p_probe<P>(); pr != nullptr) {
           const Packet& blocked = source_q_[f].front();
-          obs_->admit_blocked(now_, f, blocked.src, blocked.dst, blocked.cls,
-                              blocked.length);
+          pr->admit_blocked(now_, f, blocked.src, blocked.dst, blocked.cls,
+                            blocked.length);
         }
         continue;
       }
-      if (obs_ != nullptr) {
+      if (obs::SwitchProbe* pr = p_probe<P>(); pr != nullptr) {
         const Packet& head = source_q_[f].front();
-        obs_->packet_buffered(now_, f, head.id, head.src, head.dst, head.cls,
-                              head.length);
+        pr->packet_buffered(now_, f, head.id, head.src, head.dst, head.cls,
+                            head.length);
       }
       inputs_[i].accept(std::move(source_q_[f].front()), now_);
       source_q_[f].pop_front();
@@ -333,6 +375,7 @@ void CrossbarSwitch::inject_admit() {
   }
 }
 
+template <class P>
 void CrossbarSwitch::transfer() {
   for (std::uint64_t w = active_out_; w != 0; w &= w - 1) {
     const auto o = static_cast<OutputId>(std::countr_zero(w));
@@ -341,10 +384,11 @@ void CrossbarSwitch::transfer() {
     SSQ_ENSURE(now_ <= t.last_flit);
     throughput_.record_flit(t.pkt.flow, now_);
     inputs_[t.pkt.src].drain_flit(t.pkt.cls, t.pkt.dst);
-    if (now_ == t.last_flit) complete(t, o);
+    if (now_ == t.last_flit) complete<P>(t, o);
   }
 }
 
+template <class P>
 void CrossbarSwitch::complete(Transmission& t, OutputId o) {
   t.pkt.delivered = now_;
   if (measuring_) {
@@ -356,11 +400,11 @@ void CrossbarSwitch::complete(Transmission& t, OutputId o) {
   ++delivered_[t.pkt.flow];
   SSQ_ENSURE(live_packets_ >= 1);
   --live_packets_;
-  if (obs_ != nullptr) {
+  if (obs::SwitchProbe* pr = p_probe<P>(); pr != nullptr) {
     const Cycle from =
         config_.latency_from_creation ? t.pkt.created : t.pkt.buffered;
-    obs_->delivered(now_, t.pkt.src, o, t.pkt.cls, t.pkt.flow, t.pkt.id,
-                    t.pkt.length, now_ - from);
+    pr->delivered(now_, t.pkt.src, o, t.pkt.cls, t.pkt.flow, t.pkt.id,
+                  t.pkt.length, now_ - from);
   }
 
   const InputId src = t.pkt.src;
@@ -375,8 +419,8 @@ void CrossbarSwitch::complete(Transmission& t, OutputId o) {
   // broken whenever any input holds a GL packet for this output.
   if (config_.packet_chaining) {
     // A dead port or crosspoint cannot chain either.
-    if (fault_ != nullptr &&
-        (fault_->port_dead(src) || !fault_->link_alive(src, o))) {
+    if (fault::FaultInjector* const fi = p_fault<P>();
+        fi != nullptr && (fi->port_dead(src) || !fi->link_alive(src, o))) {
       return;
     }
     for (InputId i = 0; i < config_.radix; ++i) {
@@ -410,11 +454,11 @@ void CrossbarSwitch::complete(Transmission& t, OutputId o) {
         pkt.granted = now_;
         if (measuring_) usage_[o].transfer_cycles += pkt.length;  // no arb
         qos_[o]->on_grant(src, cls, pkt.length, now_);
-        if (obs_ != nullptr) {
-          obs_->grant(now_, src, o, cls, pkt.flow, pkt.id, pkt.length,
-                      now_ - pkt.buffered, /*chained=*/true);
-          obs_->transfer_start(now_ + 1, src, o, cls, pkt.flow, pkt.id,
-                               pkt.length);
+        if (obs::SwitchProbe* pr = p_probe<P>(); pr != nullptr) {
+          pr->grant(now_, src, o, cls, pkt.flow, pkt.id, pkt.length,
+                    now_ - pkt.buffered, /*chained=*/true);
+          pr->transfer_start(now_ + 1, src, o, cls, pkt.flow, pkt.id,
+                             pkt.length);
         }
         start_transmission(std::move(pkt), o, now_ + 1);
         if (cls == TrafficClass::GuaranteedBandwidth) {
@@ -458,6 +502,7 @@ void CrossbarSwitch::start_transmission(Packet&& pkt, OutputId o,
   active_out_ |= 1ULL << o;
 }
 
+template <class P>
 void CrossbarSwitch::select_requests(
     std::vector<PendingRequest>& pending) const {
   pending.assign(inputs_.size(), PendingRequest{});
@@ -468,13 +513,14 @@ void CrossbarSwitch::select_requests(
   for (std::size_t o = 0; o < output_free_at_.size(); ++o) {
     if (output_free_at_[o] <= now_) idle |= 1ULL << o;
   }
+  fault::FaultInjector* const fi = p_fault<P>();
   for (InputId i = 0; i < inputs_.size(); ++i) {
     const auto& port = inputs_[i];
     if (port.busy(now_)) continue;
-    if (fault_ != nullptr && fault_->port_dead(i)) continue;  // port outage
+    if (fi != nullptr && fi->port_dead(i)) continue;  // port outage
 
-    const auto link_ok = [this, i](OutputId o) {
-      return fault_ == nullptr || fault_->link_alive(i, o);
+    const auto link_ok = [fi, i](OutputId o) {
+      return fi == nullptr || fi->link_alive(i, o);
     };
     const auto prio_of = [this](const Packet& p) {
       return workload_.flow(p.flow).legacy_priority;
@@ -515,13 +561,14 @@ void CrossbarSwitch::select_requests(
   }
 }
 
+template <class P>
 void CrossbarSwitch::arbitrate() {
   StepScratch& s = scratch_;
-  select_requests(s.pending);
-  if (obs_ != nullptr) {
+  select_requests<P>(s.pending);
+  if (obs::SwitchProbe* pr = p_probe<P>(); pr != nullptr) {
     for (InputId i = 0; i < s.pending.size(); ++i) {
       if (s.pending[i].out != kNoPort) {
-        obs_->request(now_, i, s.pending[i].out, s.pending[i].cls);
+        pr->request(now_, i, s.pending[i].out, s.pending[i].cls);
       }
     }
   }
@@ -529,7 +576,7 @@ void CrossbarSwitch::arbitrate() {
   const std::uint32_t radix = config_.radix;
   const bool ssvc = config_.mode == ArbitrationMode::SsvcQos;
   if (ssvc && config_.kernel != core::ArbKernel::Scalar) {
-    arbitrate_masked();
+    arbitrate_masked<P>();
     return;
   }
 
@@ -601,10 +648,11 @@ void CrossbarSwitch::arbitrate() {
       arbiter.on_grant(winner, s.pending[winner].length, now_);
     }
 
-    commit_grant(winner, o, win_cls);
+    commit_grant<P>(winner, o, win_cls);
   }
 }
 
+template <class P>
 void CrossbarSwitch::arbitrate_masked() {
   // Bit-sliced single-request allocation: one O(radix) pass packs every
   // asserted request into per-output class masks, and each live output
@@ -643,10 +691,11 @@ void CrossbarSwitch::arbitrate_masked() {
     const TrafficClass win_cls = arbiter.picked_class();
     SSQ_ENSURE(win_cls == s.pending[winner].cls);
     arbiter.on_grant(winner, win_cls, s.pending[winner].length, now_);
-    commit_grant(winner, o, win_cls);
+    commit_grant<P>(winner, o, win_cls);
   }
 }
 
+template <class P>
 void CrossbarSwitch::commit_grant(InputId winner, OutputId o,
                                   TrafficClass cls) {
   Packet pkt = pop_for(winner, cls, o);
@@ -655,11 +704,11 @@ void CrossbarSwitch::commit_grant(InputId winner, OutputId o,
     usage_[o].arbitration_cycles += config_.arbitration_cycles;
     usage_[o].transfer_cycles += pkt.length;
   }
-  if (obs_ != nullptr) {
-    obs_->grant(now_, winner, o, cls, pkt.flow, pkt.id, pkt.length,
-                now_ - pkt.buffered, /*chained=*/false);
-    obs_->transfer_start(now_ + config_.arbitration_cycles, winner, o, cls,
-                         pkt.flow, pkt.id, pkt.length);
+  if (obs::SwitchProbe* pr = p_probe<P>(); pr != nullptr) {
+    pr->grant(now_, winner, o, cls, pkt.flow, pkt.id, pkt.length,
+              now_ - pkt.buffered, /*chained=*/false);
+    pr->transfer_start(now_ + config_.arbitration_cycles, winner, o, cls,
+                       pkt.flow, pkt.id, pkt.length);
   }
   // Arbitration occupies arbitration_cycles (1 for SSVC, 2 for the legacy
   // 4-level design [14]); flits flow once it completes.
@@ -677,6 +726,7 @@ const Packet* CrossbarSwitch::candidate_for(InputId i, OutputId o) const {
   return nullptr;
 }
 
+template <class P>
 void CrossbarSwitch::arbitrate_matched() {
   // iSLIP-style request/grant/accept over the idle ports. Every iteration:
   // each unmatched idle output runs its (QoS or baseline) arbitration over
@@ -694,9 +744,10 @@ void CrossbarSwitch::arbitrate_matched() {
   for (OutputId o = 0; o < radix; ++o) {
     if (!output_idle(o)) out_done |= 1ULL << o;
   }
+  fault::FaultInjector* const fi = p_fault<P>();
   for (InputId i = 0; i < radix; ++i) {
     if (inputs_[i].busy(now_)) in_matched |= 1ULL << i;
-    if (fault_ != nullptr && fault_->port_dead(i)) in_matched |= 1ULL << i;
+    if (fi != nullptr && fi->port_dead(i)) in_matched |= 1ULL << i;
   }
 
   auto& qos_reqs = s.qos_reqs;
@@ -712,12 +763,14 @@ void CrossbarSwitch::arbitrate_matched() {
       base_reqs.clear();
       for (InputId i = 0; i < radix; ++i) {
         if ((in_matched >> i) & 1ULL) continue;
-        if (fault_ != nullptr && !fault_->link_alive(i, o)) continue;
+        if (fi != nullptr && !fi->link_alive(i, o)) continue;
         const Packet* h = candidate_for(i, o);
         if (h == nullptr) continue;
         // Matched mode exposes every ready head; report each (input, output)
         // candidacy once, on the first matching round.
-        if (iter == 0 && obs_ != nullptr) obs_->request(now_, i, o, h->cls);
+        if (obs::SwitchProbe* pr = p_probe<P>(); iter == 0 && pr != nullptr) {
+          pr->request(now_, i, o, h->cls);
+        }
         if (config_.mode == ArbitrationMode::SsvcQos) {
           qos_reqs.push_back({i, h->cls, h->length});
         } else {
@@ -778,7 +831,7 @@ void CrossbarSwitch::arbitrate_matched() {
         SSQ_ENSURE(confirm == i);
         baseline_[best]->on_grant(i, length, now_);
       }
-      commit_grant(i, best, cls);
+      commit_grant<P>(i, best, cls);
       in_matched |= 1ULL << i;
       out_done |= 1ULL << best;
       accept_out_ptr_[i] = (best + 1) % radix;
@@ -786,6 +839,7 @@ void CrossbarSwitch::arbitrate_matched() {
   }
 }
 
+template <class P>
 void CrossbarSwitch::arbitrate_engine() {
   // Matching-engine allocation: build the switch-wide eligibility/backlog
   // view once, hand it to the engine, commit the returned partial
@@ -801,10 +855,11 @@ void CrossbarSwitch::arbitrate_engine() {
   }
 
   bool any_candidate = false;
+  fault::FaultInjector* const fi = p_fault<P>();
   for (InputId i = 0; i < radix; ++i) {
     const InputPort& port = inputs_[i];
     std::uint64_t cand = 0;
-    if (fault_ == nullptr || !fault_->port_dead(i)) {
+    if (fi == nullptr || !fi->port_dead(i)) {
       cand = port.gb_nonempty();
       if (const Packet* h = port.gl_head(); h != nullptr) {
         cand |= 1ULL << h->dst;
@@ -812,10 +867,10 @@ void CrossbarSwitch::arbitrate_engine() {
       if (const Packet* h = port.be_head(); h != nullptr) {
         cand |= 1ULL << h->dst;
       }
-      if (fault_ != nullptr) {
+      if (fi != nullptr) {
         for (std::uint64_t w = cand; w != 0; w &= w - 1) {
           const auto o = static_cast<OutputId>(std::countr_zero(w));
-          if (!fault_->link_alive(i, o)) cand &= ~(1ULL << o);
+          if (!fi->link_alive(i, o)) cand &= ~(1ULL << o);
         }
       }
     }
@@ -837,12 +892,12 @@ void CrossbarSwitch::arbitrate_engine() {
       }
       s.eng_voq[static_cast<std::size_t>(i) * radix + o] = backlog;
     }
-    if (obs_ != nullptr) {
+    if (obs::SwitchProbe* pr = p_probe<P>(); pr != nullptr) {
       for (std::uint64_t w = elig; w != 0; w &= w - 1) {
         const auto o = static_cast<OutputId>(std::countr_zero(w));
         const Packet* h = candidate_for(i, o);
         SSQ_ENSURE(h != nullptr);
-        obs_->request(now_, i, o, h->cls);
+        pr->request(now_, i, o, h->cls);
       }
     }
   }
@@ -872,46 +927,57 @@ void CrossbarSwitch::arbitrate_engine() {
     in_used |= 1ULL << i;
     const Packet* h = candidate_for(i, o);
     SSQ_ENSURE(h != nullptr);
-    commit_grant(i, o, h->cls);
+    commit_grant<P>(i, o, h->cls);
     ++engine_stats_.matches;
   }
 }
 
-void CrossbarSwitch::step() {
-  if (fault_ != nullptr) fault_->on_cycle(now_);
-  if (scrub_ != nullptr) scrub_->on_cycle(now_);
+template <class P>
+void CrossbarSwitch::step_impl() {
+  if (fault::FaultInjector* const fi = p_fault<P>(); fi != nullptr) {
+    fi->on_cycle(now_);
+  }
+  if (fault::StateScrubber* const sc = p_scrub<P>(); sc != nullptr) {
+    sc->on_cycle(now_);
+  }
   if (create_pending_) {
     create_pending_ = false;  // fast_forward() already created at now_
   } else {
-    inject_create();
+    inject_create<P>();
   }
-  inject_admit();
-  transfer();
+  inject_admit<P>();
+  transfer<P>();
   if (config_.pvc.preemption) preempt_scan();
   if (config_.allocation == AllocationMode::IterativeMatching) {
     if (engine_ != nullptr) {
-      arbitrate_engine();
+      arbitrate_engine<P>();
     } else {
-      arbitrate_matched();
+      arbitrate_matched<P>();
     }
   } else {
-    arbitrate();
+    arbitrate<P>();
   }
   ++now_;
 }
 
-bool CrossbarSwitch::fast_forward_eligible() const noexcept {
-  // Baseline arbiters tick on_idle() every cycle; GSF rolls frame state;
-  // fault injectors and scrubbers hook every cycle — all make idle cycles
-  // observable, so only the plain SSVC configuration may skip them.
-  return config_.fast_forward && config_.mode == ArbitrationMode::SsvcQos &&
-         !config_.gsf.enabled && fault_ == nullptr && scrub_ == nullptr;
-}
-
 void CrossbarSwitch::fast_forward(Cycle end) {
-  SSQ_EXPECT(fast_forward_eligible());
+  SSQ_EXPECT(ff_eligible_);
   const Cycle from = now_;
   while (now_ < end && quiescent()) {
+    // Fold every consumer's horizon (see event_horizon.hpp). Schedule-driven
+    // consumers first: the fault plan's outage/stuck schedule and the
+    // scrubber's next pass must land on full step() cycles.
+    EventHorizon horizon(end);
+    Cycle fault_due = kNoCycle;
+    if (fault_ != nullptr) {
+      fault_due = fault_->next_event(now_);
+      horizon.limit(fault_due);
+    }
+    Cycle scrub_due = kNoCycle;
+    if (scrub_ != nullptr) {
+      scrub_due = scrub_->next_event();
+      horizon.limit(scrub_due);
+    }
     // Next cycle any injector may act. Bernoulli/OnOff sources roll their
     // RNG every cycle past start and report `now_`; deterministic kinds
     // (Periodic/BurstOnce/Trace) report their exact next event.
@@ -920,16 +986,31 @@ void CrossbarSwitch::fast_forward(Cycle end) {
       const Cycle c = inj.next_active_cycle(now_);
       if (c < min_next) min_next = c;
     }
-    if (min_next > now_) {
-      // Every injector is provably inactive until min_next: nothing in an
-      // eligible idle cycle touches any other state, so the clock jumps.
-      const Cycle jump = min_next < end ? min_next : end;
-      ff_skipped_cycles_ += jump - now_;
-      now_ = jump;
+    horizon.limit(min_next);
+    Cycle fire = kNoCycle;
+    if (fault_ != nullptr && fault_->has_bitflip_rng()) {
+      // Pre-roll the bitflip Bernoulli stream over the candidate window —
+      // the cycles a jump would skip, plus now_ itself when the
+      // creation-only path below would bypass the stepped on_cycle(). A
+      // firing cycle clamps the horizon so the flip lands in a full step.
+      fire = fault_->scan_fire(now_, std::max(horizon.target(), now_ + 1));
+      horizon.limit(fire);
+    }
+    if (!horizon.due_now(now_)) {
+      // Nothing is due before the horizon: nothing in an eligible idle
+      // cycle touches any other state, so the clock jumps.
+      ff_skipped_cycles_ += horizon.target() - now_;
+      now_ = horizon.target();
       continue;
     }
-    // Some injector must roll its RNG (or fire) at now_: run creation only.
-    inject_create();
+    if (fault_due <= now_ || scrub_due <= now_ || fire <= now_) {
+      // A fault/scrub consumer is due at now_ — its work must run inside a
+      // full step() (injection before scrubbing before admission); hand
+      // control back to the caller's step loop.
+      break;
+    }
+    // Only injector work is due at now_: run creation alone.
+    inject_create<DynPolicy>();
     if (live_packets_ != 0) {
       // Created at now_ — the next step() admits and arbitrates this same
       // cycle, skipping its own (already run) creation pass.
@@ -937,8 +1018,10 @@ void CrossbarSwitch::fast_forward(Cycle end) {
       break;
     }
     // Nothing created: admission, transfer and arbitration are all no-ops
-    // (no packets exist, SSVC outputs with zero requests touch nothing),
-    // so the cycle is complete.
+    // (no packets exist, SSVC outputs with zero requests touch nothing; the
+    // fault stream for this cycle was consumed by the scan above, outage /
+    // stuck / scrub work is provably absent, and GSF frame state catches up
+    // retroactively in inject_admit), so the cycle is complete.
     ++ff_idle_stepped_cycles_;
     ++now_;
   }
@@ -950,7 +1033,7 @@ void CrossbarSwitch::fast_forward(Cycle end) {
 
 void CrossbarSwitch::run(Cycle cycles) {
   const Cycle end = now_ + cycles;
-  if (fast_forward_eligible()) {
+  if (ff_eligible_) {
     while (now_ < end) {
       if (quiescent()) {
         fast_forward(end);

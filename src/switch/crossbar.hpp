@@ -36,6 +36,7 @@
 #include "stats/latency.hpp"
 #include "stats/throughput.hpp"
 #include "switch/config.hpp"
+#include "switch/event_horizon.hpp"
 #include "switch/input_port.hpp"
 #include "switch/packet.hpp"
 #include "switch/step_scratch.hpp"
@@ -53,20 +54,26 @@ class CrossbarSwitch {
  public:
   CrossbarSwitch(const SwitchConfig& config, traffic::Workload workload);
 
-  /// Advances one cycle.
-  void step();
+  /// Advances one cycle, through the pipeline selected for the current
+  /// attachment state (see select_pipeline()).
+  void step() { (this->*step_fn_)(); }
 
   /// Advances `cycles` cycles. When fast_forward_eligible() and the switch
   /// is quiescent, idle stretches are skipped (exactly — see
   /// SwitchConfig::fast_forward) instead of stepped.
   void run(Cycle cycles);
 
-  /// True when config/attachment state permits idle-cycle fast-forward:
-  /// SSVC mode, no GSF regulation, no fault injector or scrubber attached,
-  /// and config.fast_forward set. Under these conditions a quiescent cycle
-  /// touches nothing but the injector RNG streams, which the fast path
-  /// drives identically.
-  [[nodiscard]] bool fast_forward_eligible() const noexcept;
+  /// True when the configuration permits idle-cycle fast-forward: SSVC mode
+  /// with config.fast_forward set. Attachments no longer disqualify — fault
+  /// injectors, scrubbers, probes/monitors and GSF regulation all
+  /// participate through the event-horizon protocol (event_horizon.hpp):
+  /// schedule-driven consumers clamp the jump to their next event, RNG
+  /// streams are pre-rolled, and window consumers catch up retroactively.
+  /// Only the baseline arbiters (per-cycle on_idle state) remain stepped.
+  /// Cached at construction: config is immutable, so this is one flag read.
+  [[nodiscard]] bool fast_forward_eligible() const noexcept {
+    return ff_eligible_;
+  }
 
   /// True when no packet exists anywhere (source queues, input buffers, or
   /// in flight) and no freshly-created packet awaits admission.
@@ -75,12 +82,16 @@ class CrossbarSwitch {
   }
 
   /// Fast-forwards from now() toward `end` (absolute cycle) while the
-  /// switch stays quiescent. Requires fast_forward_eligible(). Jumps the
-  /// clock over stretches where every injector reports no activity
-  /// (Injector::next_active_cycle); cycles where an injector must roll its
-  /// RNG are run through the creation-only fast path. Returns with either
-  /// now() == end, or packets created and pending admission (the next
-  /// step() picks them up within the same cycle).
+  /// switch stays quiescent. Requires fast_forward_eligible(). Folds every
+  /// attached consumer's horizon (EventHorizon): injector next-active
+  /// cycles, the fault plan's outage/stuck schedule, the pre-rolled bitflip
+  /// stream, and the scrubber's next pass. The clock jumps over stretches
+  /// where nothing is due; cycles where only an injector must roll its RNG
+  /// run through the creation-only fast path; cycles where a fault/scrub
+  /// consumer is due return to the caller for a full step(). Returns with
+  /// either now() == end, no progress possible without a full step, or
+  /// packets created and pending admission (the next step() picks them up
+  /// within the same cycle).
   void fast_forward(Cycle end);
 
   /// Cycles skipped outright by fast-forward (clock jumps, no per-cycle
@@ -193,26 +204,100 @@ class CrossbarSwitch {
     std::uint32_t granted_level = 0;  // PVC level at grant time
   };
 
+  // ---- compile-time specialized step pipelines ----
+  // The per-cycle hooks sprinkled through the pipeline (probe, fault
+  // injector + scrubber, GSF frame bookkeeping) are selected once per
+  // attachment change instead of branched on every cycle: the whole step
+  // pipeline is a member template over a policy whose constexpr flags fold
+  // detached hooks away entirely. DynPolicy keeps every runtime check (the
+  // pre-refactor behaviour; also what config.specialize = false forces);
+  // StaticPolicy<false, false, false> is the common detached configuration
+  // with zero hook branches. select_pipeline() maps the current attachment
+  // state to one of the nine instantiations via step_fn_.
+  struct DynPolicy {
+    static constexpr bool kDyn = true;
+    static constexpr bool kProbe = true;
+    static constexpr bool kFaultScrub = true;
+    static constexpr bool kGsf = true;
+  };
+  template <bool Probe, bool FaultScrub, bool Gsf>
+  struct StaticPolicy {
+    static constexpr bool kDyn = false;
+    static constexpr bool kProbe = Probe;
+    static constexpr bool kFaultScrub = FaultScrub;
+    static constexpr bool kGsf = Gsf;
+  };
+  // Policy accessors: a false static flag folds to a compile-time constant
+  // (hook code eliminated); a true flag keeps the runtime pointer check so
+  // one FaultScrub flag covers injector-only / scrubber-only attachments.
+  template <class P>
+  [[nodiscard]] obs::SwitchProbe* p_probe() const noexcept {
+    if constexpr (!P::kDyn && !P::kProbe) {
+      return nullptr;
+    } else {
+      return obs_;
+    }
+  }
+  template <class P>
+  [[nodiscard]] fault::FaultInjector* p_fault() const noexcept {
+    if constexpr (!P::kDyn && !P::kFaultScrub) {
+      return nullptr;
+    } else {
+      return fault_;
+    }
+  }
+  template <class P>
+  [[nodiscard]] fault::StateScrubber* p_scrub() const noexcept {
+    if constexpr (!P::kDyn && !P::kFaultScrub) {
+      return nullptr;
+    } else {
+      return scrub_;
+    }
+  }
+  template <class P>
+  [[nodiscard]] bool p_gsf() const noexcept {
+    if constexpr (P::kDyn) {
+      return config_.gsf.enabled;
+    } else {
+      return P::kGsf;
+    }
+  }
+  /// Recomputes step_fn_ from config.specialize and the attachment state.
+  /// Called at construction and from every attach_*().
+  void select_pipeline() noexcept;
+
+  template <class P>
+  void step_impl();
   /// Packet creation into source queues (injector RNG rolls live here).
+  template <class P>
   void inject_create();
   /// GSF bookkeeping + per-input admission of created packets into buffers.
+  template <class P>
   void inject_admit();
+  template <class P>
   void transfer();
+  template <class P>
   void select_requests(std::vector<PendingRequest>& pending) const;
+  template <class P>
   void arbitrate();
   /// SSVC + bit-sliced kernel: per-output packed request masks straight to
   /// pick_masked(), skipping the counting sort.
+  template <class P>
   void arbitrate_masked();
+  template <class P>
   void arbitrate_matched();
   /// Matching-engine allocation (config.engine != None): build the
   /// eligibility/backlog view, let the engine compute a matching, commit it.
+  template <class P>
   void arbitrate_engine();
   void preempt_scan();
   /// Pops the winner's packet, charges usage, seizes the channel.
+  template <class P>
   void commit_grant(InputId winner, OutputId o, TrafficClass cls);
   /// Highest-priority ready head of input i for output o, or nullptr.
   [[nodiscard]] const Packet* candidate_for(InputId i, OutputId o) const;
   void start_transmission(Packet&& pkt, OutputId o, Cycle first_flit);
+  template <class P>
   void complete(Transmission& t, OutputId o);
   Packet pop_for(InputId i, TrafficClass cls, OutputId o);
 
@@ -245,6 +330,12 @@ class CrossbarSwitch {
   bool create_pending_ = false;
   std::uint64_t ff_skipped_cycles_ = 0;
   std::uint64_t ff_idle_stepped_cycles_ = 0;
+  // Eligibility depends only on the (immutable) config; computed once in
+  // the constructor so run loops and SwitchBatch read one flag per run
+  // instead of re-deriving it per iteration.
+  bool ff_eligible_ = false;
+  // The step pipeline selected for the current attachment state.
+  void (CrossbarSwitch::*step_fn_)() = nullptr;
 
   std::vector<InputPort> inputs_;
   std::vector<Cycle> output_free_at_;

@@ -38,7 +38,10 @@ void run_sampled(CrossbarSwitch& sw, Cycle cycles,
         sampler.sample(b, collect_occupancy(sw), *sw.probe());
       }
       if (sw.now() >= end) break;
-      continue;
+      // A jump can stop short without advancing at all when a horizon
+      // consumer (fault edge, scrub pass, pre-rolled bitflip) is due this
+      // very cycle: fall through to the stepped path instead of spinning.
+      if (sw.now() != from) continue;
     }
     const Cycle to_boundary = interval - (sw.now() % interval);
     const Cycle chunk = std::min(end - sw.now(), to_boundary);

@@ -12,9 +12,13 @@ SwitchBatch::SwitchBatch(std::vector<CrossbarSwitch*> sims)
 void SwitchBatch::run(Cycle cycles) {
   const std::size_t n = sims_.size();
   target_.resize(n);
+  ff_.resize(n);
   hot_.clear();
   for (std::size_t i = 0; i < n; ++i) {
     target_[i] = sims_[i]->now() + cycles;
+    // Eligibility is a function of config and attachment state, neither of
+    // which changes inside run(): hoist it out of the per-step loop.
+    ff_[i] = sims_[i]->fast_forward_eligible();
     hot_.push_back(i);
   }
   while (!hot_.empty()) {
@@ -37,10 +41,11 @@ void SwitchBatch::run(Cycle cycles) {
         hot_[w++] = i;  // parked: ahead of the batch clock
         continue;
       }
+      const bool ff = ff_[i];
       bool finished = false;
       while (!finished && sim.now() <= horizon) {
         // One iteration of the serial CrossbarSwitch::run() loop.
-        if (sim.fast_forward_eligible() && sim.quiescent()) {
+        if (ff && sim.quiescent()) {
           sim.fast_forward(target_[i]);
           if (sim.now() >= target_[i]) {
             finished = true;  // finished inside the jump

@@ -52,6 +52,7 @@ class SwitchBatch {
   std::vector<CrossbarSwitch*> sims_;
   // run() scratch, reused across calls.
   std::vector<Cycle> target_;
+  std::vector<char> ff_;  // fast_forward_eligible(), hoisted per run()
   std::vector<std::size_t> hot_;
 };
 

@@ -14,9 +14,11 @@
 #include "check/scenario.hpp"
 #include "check/trace.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/conformance.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
 #include "switch/crossbar.hpp"
+#include "switch/observe.hpp"
 
 namespace ssq::check {
 namespace {
@@ -126,9 +128,11 @@ TEST(Determinism, GoldenTraceMatchesItselfAndDiffersAcrossSeeds) {
 /// Like jsonl_trace() but drives the switch through run(), the only entry
 /// point where fast-forward engages. Reports the cycles actually skipped.
 std::string jsonl_trace_run(Scenario s, core::ArbKernel kernel,
-                            bool fast_forward, Cycle* skipped = nullptr) {
+                            bool fast_forward, Cycle* skipped = nullptr,
+                            bool specialize = true) {
   s.kernel = kernel;
   s.fast_forward = fast_forward;
+  s.specialize = specialize;
   ScenarioRun rig = instantiate(s);
   std::ostringstream out;
   obs::JsonlSink sink(out);
@@ -157,11 +161,35 @@ void expect_trace_invariant(const Scenario& base) {
           << " fast_forward=" << ff;
     }
   }
+  // The fully dynamic step pipeline (specialize=false) against the same
+  // reference: the compile-time specialized pipelines above and the generic
+  // one must be indistinguishable event for event.
+  for (const bool ff : {false, true}) {
+    EXPECT_EQ(ref, jsonl_trace_run(base, core::ArbKernel::Bitsliced, ff,
+                                   nullptr, /*specialize=*/false))
+        << base.name << " generic pipeline fast_forward=" << ff;
+  }
+}
+
+/// sim_scenario() under GSF source regulation: the frame/barrier/quota
+/// bookkeeping must survive kernel swaps, fast-forward's retroactive frame
+/// catch-up, and both step pipelines.
+Scenario gsf_scenario() {
+  Scenario s = sim_scenario();
+  s.name = "determinism-gsf";
+  s.gsf.enabled = true;
+  s.gsf.frame_cycles = 128;
+  s.gsf.barrier_cycles = 8;
+  return s;
 }
 
 TEST(KernelInvariance, SimAndChaosTracesIdenticalAcrossKernelAndFF) {
   expect_trace_invariant(sim_scenario());
   expect_trace_invariant(chaos_scenario());
+}
+
+TEST(KernelInvariance, GsfTracesIdenticalAcrossKernelAndFF) {
+  expect_trace_invariant(gsf_scenario());
 }
 
 /// sim_scenario() re-run through a matching engine instead of the classic
@@ -192,11 +220,10 @@ TEST(KernelInvariance, FuzzTracesIdenticalAcrossKernelAndFF) {
   }
 }
 
-TEST(KernelInvariance, FastForwardEngagesOnSparseTrafficWithoutTraceDrift) {
-  // A workload idle ~97% of the time: two synchronized periodic BE flows.
-  // Here the clock genuinely jumps (ff_skipped_cycles > 0), so the equality
-  // against the stepped reference is a non-vacuous proof that skipped idle
-  // cycles touch no observable state.
+/// A workload idle ~97% of the time: two synchronized periodic BE flows
+/// with long quiescent gaps between bursts (period 400) — the shape on
+/// which fast-forward must genuinely engage.
+Scenario sparse_scenario() {
   Scenario s;
   s.name = "determinism-sparse";
   s.seed = 9;
@@ -209,9 +236,17 @@ TEST(KernelInvariance, FastForwardEngagesOnSparseTrafficWithoutTraceDrift) {
     f.inject = traffic::InjectKind::Periodic;
     f.len_min = 8;
     f.len_max = 8;
-    f.inject_rate = 0.02;  // period 400: long quiescent gaps between bursts
+    f.inject_rate = 0.02;
     s.flows.push_back(f);
   }
+  return s;
+}
+
+TEST(KernelInvariance, FastForwardEngagesOnSparseTrafficWithoutTraceDrift) {
+  // Here the clock genuinely jumps (ff_skipped_cycles > 0), so the equality
+  // against the stepped reference is a non-vacuous proof that skipped idle
+  // cycles touch no observable state.
+  const Scenario s = sparse_scenario();
   Scenario stepped = s;
   stepped.kernel = core::ArbKernel::Scalar;
   const std::string ref = jsonl_trace(stepped);
@@ -234,6 +269,96 @@ TEST(KernelInvariance, FastForwardEngagesOnSparseTrafficWithoutTraceDrift) {
   EXPECT_EQ(ref, simd_trace);
 }
 
+TEST(KernelInvariance, FastForwardEngagesOnFaultedSparseScenario) {
+  // Sparse periodic traffic plus the full fault stack (bitflip process,
+  // stuck lane, port outage, periodic scrubber). Before the event-horizon
+  // fast-forward this configuration was flatly ineligible; now the clock
+  // must genuinely jump between the plan's events (skipped > 0) while the
+  // trace — faults, repairs and quarantines included — stays byte-identical
+  // to the fully stepped run, on both step pipelines.
+  Scenario s = sparse_scenario();
+  s.name = "determinism-faulted-sparse";
+  s.cycles = 6000;
+  s.faults.seed = 777;
+  s.faults.bitflip_rate = 0.001;
+  s.faults.stuck_lanes.push_back({5, 1, true, 900});
+  s.faults.port_kills.push_back({1, 1500, 2500});
+  s.scrub_interval = 400;
+
+  Scenario stepped = s;
+  stepped.kernel = core::ArbKernel::Scalar;
+  const std::string ref = jsonl_trace(stepped);
+  EXPECT_NE(ref.find("\"fault\""), std::string::npos)
+      << "no faults fired — the invariance check is vacuous";
+  for (const bool specialize : {false, true}) {
+    Cycle skipped = 0;
+    const std::string ff_trace = jsonl_trace_run(
+        s, core::ArbKernel::Bitsliced, true, &skipped, specialize);
+    EXPECT_GT(skipped, 0u)
+        << "fast-forward never engaged on the faulted sparse scenario "
+           "(specialize=" << specialize << ")";
+    EXPECT_EQ(ref, ff_trace) << "specialize=" << specialize;
+  }
+  Cycle noff_skipped = 0;
+  EXPECT_EQ(ref, jsonl_trace_run(s, core::ArbKernel::Bitsliced, false,
+                                 &noff_skipped));
+  EXPECT_EQ(noff_skipped, 0u);
+}
+
+TEST(KernelInvariance, FastForwardEngagesUnderConformanceMonitor) {
+  // The sparse run again with a probe + QoS conformance monitor attached
+  // (the --monitor plane): the monitor's on_clock_jump coalesces whole
+  // skipped windows, so fast-forward stays engaged and every verdict —
+  // window counts, violation counts, the full event trace — matches the
+  // stepped run on both pipelines.
+  const Scenario base = sparse_scenario();
+  struct MonRun {
+    std::string trace;
+    std::uint64_t windows = 0;
+    std::uint64_t violations = 0;
+    Cycle skipped = 0;
+  };
+  const auto run_monitored = [&](bool ff, bool specialize) {
+    Scenario v = base;
+    v.fast_forward = ff;
+    v.specialize = specialize;
+    ScenarioRun rig = instantiate(v);
+    std::ostringstream out;
+    obs::JsonlSink sink(out);
+    obs::Tracer tracer(sink);
+    obs::SwitchProbe probe(v.radix);
+    probe.set_tracer(&tracer);
+    obs::ConformanceMonitor monitor(sw::make_conformance_config(
+        rig.sim->config(), rig.sim->workload(), /*window=*/256));
+    probe.set_extra_sink(&monitor);
+    rig.sim->attach_probe(&probe);
+    rig.sim->run(v.cycles);
+    monitor.finalize(rig.sim->now());
+    rig.sim->attach_probe(nullptr);
+    tracer.finish();
+    MonRun r;
+    r.trace = out.str();
+    r.windows = monitor.windows_total();
+    r.violations = monitor.violations(obs::ViolationKind::GbShare) +
+                   monitor.violations(obs::ViolationKind::GlLatency) +
+                   monitor.violations(obs::ViolationKind::BeStarvation);
+    r.skipped = rig.sim->ff_skipped_cycles();
+    return r;
+  };
+  const MonRun ref = run_monitored(false, true);
+  ASSERT_GT(ref.windows, 0u) << "monitor judged no windows — vacuous";
+  EXPECT_EQ(ref.skipped, 0u);
+  for (const bool specialize : {false, true}) {
+    const MonRun ff = run_monitored(true, specialize);
+    EXPECT_GT(ff.skipped, 0u)
+        << "fast-forward never engaged under the monitor (specialize="
+        << specialize << ")";
+    EXPECT_EQ(ref.trace, ff.trace) << "specialize=" << specialize;
+    EXPECT_EQ(ref.windows, ff.windows) << "specialize=" << specialize;
+    EXPECT_EQ(ref.violations, ff.violations) << "specialize=" << specialize;
+  }
+}
+
 // -- Determinism under parallelism -----------------------------------------
 //
 // The --jobs campaign and the sweep benches promise byte-identical results
@@ -249,6 +374,8 @@ struct Verdict {
   Cycle fail_cycle = 0;
   std::uint64_t grants_checked = 0;
   std::uint64_t delivered = 0;
+  std::uint64_t violations = 0;       // conformance totals (monitor runs)
+  std::uint64_t windows_checked = 0;  // judged windows (monitor runs)
 
   bool operator==(const Verdict&) const = default;
 };
@@ -256,16 +383,23 @@ struct Verdict {
 std::vector<Verdict> run_campaign(
     unsigned threads, std::uint64_t count, std::uint64_t base_seed,
     core::ArbKernel kernel = core::ArbKernel::Bitsliced,
-    bool fast_forward = true) {
+    bool fast_forward = true, bool specialize = true, bool monitor = false) {
   exec::ThreadPool pool(threads);
   return exec::run_batch<Verdict>(pool, count, [&](std::size_t i) {
     Scenario s = generate_scenario(i, base_seed);
     s.kernel = kernel;
     s.fast_forward = fast_forward;
+    s.specialize = specialize;
     CheckOptions opts;
+    opts.monitor = monitor;
     const RunResult r = run_scenario(s, opts);
-    return Verdict{r.failed, r.kind, r.fail_cycle, r.grants_checked,
-                   r.delivered};
+    return Verdict{r.failed,
+                   r.kind,
+                   r.fail_cycle,
+                   r.grants_checked,
+                   r.delivered,
+                   r.violations_gb + r.violations_gl + r.violations_be,
+                   r.windows_checked};
   });
 }
 
@@ -302,6 +436,41 @@ TEST(DeterminismParallel, HundredScenarioCampaignIdenticalAcrossKernelAndFF) {
     EXPECT_EQ(fast[i], simd[i]) << "scenario " << i << " (simd kernel)";
     EXPECT_FALSE(fast[i].failed) << "scenario " << i << ": " << fast[i].kind;
   }
+}
+
+TEST(DeterminismParallel, TwoHundredScenarioCampaignIdenticalAcrossPipelines) {
+  // {generic, specialized} step pipelines × {fast-forward, fully stepped},
+  // with the conformance monitor attached to every scenario: the verdicts —
+  // failure sites, grant and delivery counts, judged windows, violation
+  // totals — must agree scenario for scenario across all four executions.
+  const auto spec_ff =
+      run_campaign(4, 200, 424242, core::ArbKernel::Bitsliced,
+                   /*fast_forward=*/true, /*specialize=*/true, /*monitor=*/true);
+  const auto spec_noff =
+      run_campaign(4, 200, 424242, core::ArbKernel::Bitsliced,
+                   /*fast_forward=*/false, /*specialize=*/true,
+                   /*monitor=*/true);
+  const auto dyn_ff =
+      run_campaign(4, 200, 424242, core::ArbKernel::Bitsliced,
+                   /*fast_forward=*/true, /*specialize=*/false,
+                   /*monitor=*/true);
+  const auto dyn_noff =
+      run_campaign(4, 200, 424242, core::ArbKernel::Bitsliced,
+                   /*fast_forward=*/false, /*specialize=*/false,
+                   /*monitor=*/true);
+  ASSERT_EQ(spec_ff.size(), 200u);
+  std::uint64_t windows = 0;
+  for (std::size_t i = 0; i < spec_ff.size(); ++i) {
+    EXPECT_EQ(spec_ff[i], spec_noff[i]) << "scenario " << i << " (ff vs noff)";
+    EXPECT_EQ(spec_ff[i], dyn_ff[i]) << "scenario " << i << " (generic ff)";
+    EXPECT_EQ(spec_ff[i], dyn_noff[i]) << "scenario " << i
+                                       << " (generic noff)";
+    EXPECT_FALSE(spec_ff[i].failed)
+        << "scenario " << i << ": " << spec_ff[i].kind;
+    windows += spec_ff[i].windows_checked;
+  }
+  EXPECT_GT(windows, 0u) << "no conformance windows judged — the monitored "
+                            "leg of this sweep is vacuous";
 }
 
 TEST(DeterminismParallel, GoldenTraceCorpusIdenticalUnderPool) {

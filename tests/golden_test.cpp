@@ -107,9 +107,10 @@ TEST(Golden, TracesReplayByteExactly) {
 }
 
 TEST(Golden, TracesInvariantAcrossKernelAndFastForward) {
-  // The committed traces are the ground truth for ALL arbitration kernels
-  // and for idle-cycle fast-forward on/off: a kernel or fast-forward bug
-  // that shifts a single grant or event timestamp shows up as a corpus diff.
+  // The committed traces are the ground truth for ALL arbitration kernels,
+  // for idle-cycle fast-forward on/off, AND for both step pipelines
+  // (compile-time specialized vs fully dynamic): a bug in any of them that
+  // shifts a single grant or event timestamp shows up as a corpus diff.
   for (const auto& file : corpus()) {
     Scenario s = load_scenario(file.string());
     fs::path trace_file = file;
@@ -119,11 +120,14 @@ TEST(Golden, TracesInvariantAcrossKernelAndFastForward) {
          {core::ArbKernel::Scalar, core::ArbKernel::Bitsliced,
           core::ArbKernel::Simd}) {
       for (const bool ff : {false, true}) {
-        s.kernel = kernel;
-        s.fast_forward = ff;
-        EXPECT_EQ(golden_trace(s), expected)
-            << s.name << " kernel=" << core::to_string(kernel)
-            << " fast_forward=" << ff;
+        for (const bool specialize : {false, true}) {
+          s.kernel = kernel;
+          s.fast_forward = ff;
+          s.specialize = specialize;
+          EXPECT_EQ(golden_trace(s), expected)
+              << s.name << " kernel=" << core::to_string(kernel)
+              << " fast_forward=" << ff << " specialize=" << specialize;
+        }
       }
     }
   }

@@ -10,14 +10,18 @@
 //   * the radix-64 point again with a probe + QoS conformance monitor
 //     attached (the --monitor stepping cost),
 //   * a sparse (sub-10%-load, periodic-injection) radix-64 sweep with
-//     idle-cycle fast-forward on and off,
+//     idle-cycle fast-forward on and off, and the same sweep again with the
+//     full fault stack (bitflips + stuck lane + outage + scrubber) attached
+//     and fast-forward on — the event-horizon point,
 //   * heap allocations per step at radix 64 (counted by the ssq_alloc_hook
 //     operator-new interposer; the zero-allocation claim, measured),
 //   * iSLIP matching throughput on the stability-lab cell model (radix 64,
 //     0.9 uniform load) — the hot loop behind bench/stability_lab,
-//   * fuzz-campaign scenario throughput at 1 thread, through the lock-step
-//     batch plane (check::run_scenario_batch at width 8), and at --jobs
-//     threads (the parallel point is skipped honestly on single-CPU hosts),
+//   * fuzz-campaign scenario throughput at 1 thread (plain and with the
+//     QoS conformance monitor attached to every scenario), through the
+//     lock-step batch plane (check::run_scenario_batch at width 8), and at
+//     --jobs threads (the parallel point is skipped honestly on single-CPU
+//     hosts),
 //   * the same serial campaign run through the ssq_campaign shard runner
 //     with its checkpoint journal attached — the per-scenario cost of
 //     crash-safe resume (docs/CAMPAIGN.md), gated like any throughput.
@@ -58,6 +62,9 @@
 #include "check/stability.hpp"
 #include "core/simd.hpp"
 #include "exec/thread_pool.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "fault/scrubber.hpp"
 #include "obs/conformance.hpp"
 #include "obs/json.hpp"
 #include "obs/probe.hpp"
@@ -238,6 +245,37 @@ StepPoint measure_sparse(std::uint32_t radix, Cycle cycles,
   return timed_run(sim, radix, cycles);
 }
 
+/// The sparse sweep again with the full fault stack attached: a low-rate
+/// bitflip process, one stuck lane, a mid-run port outage, and a periodic
+/// state scrubber. Before the event-horizon fast-forward this configuration
+/// was ineligible and fell back to full stepping; the gate now holds the
+/// jumped throughput (the pre-rolled bitflip stream costs one RNG draw per
+/// skipped cycle, the jumps save the full step). A fast-forwarded run that
+/// never actually jumps would gate nothing, so that is an error here.
+StepPoint measure_faulted_sparse(std::uint32_t radix, Cycle cycles,
+                                 core::ArbKernel kernel, bool fast_forward) {
+  sw::SwitchConfig cfg = bench_config(radix, kernel);
+  cfg.fast_forward = fast_forward;
+  fault::FaultPlan plan;
+  plan.seed = 0xFA111;
+  plan.bitflip_rate = 1e-4;
+  plan.stuck_lanes.push_back(
+      {/*output=*/1, /*lane=*/0, /*stuck_high=*/true, /*at=*/2000});
+  plan.port_kills.push_back(
+      {/*input=*/1, /*at=*/10000, /*restore_at=*/20000});
+  fault::FaultInjector injector(plan);
+  fault::StateScrubber scrubber(/*interval=*/512);
+  sw::CrossbarSwitch sim(cfg, sparse_workload(radix));
+  sim.attach_fault_injector(&injector);
+  sim.attach_scrubber(&scrubber);
+  const StepPoint p = timed_run(sim, radix, cycles);
+  if (fast_forward && sim.ff_skipped_cycles() == 0) {
+    throw ConfigError(
+        "faulted sparse run never fast-forwarded; the measurement is vacuous");
+  }
+  return p;
+}
+
 /// Same stepping measurement with a probe + conformance monitor attached
 /// via the extra sink — the monitor-on cost the --monitor CLI flag pays.
 /// The gap vs the plain radix-N point is the monitored-stepping overhead;
@@ -353,9 +391,9 @@ double measure_campaign_batched(std::uint64_t scenarios, std::uint64_t width) {
          std::chrono::duration<double>(t1 - t0).count();
 }
 
-double measure_campaign(std::uint64_t scenarios, unsigned jobs) {
+double measure_campaign(std::uint64_t scenarios, unsigned jobs,
+                        const check::CheckOptions& opts = {}) {
   exec::ThreadPool pool(jobs);
-  check::CheckOptions opts;
   const auto t0 = std::chrono::steady_clock::now();
   pool.run_indexed(static_cast<std::size_t>(scenarios), [&](std::size_t i) {
     const check::Scenario s = check::generate_scenario(i, 1);
@@ -618,6 +656,23 @@ int main(int argc, char** argv) {
     metrics.emplace_back("cycles_per_sec_sparse64_noff",
                          sp_noff.cycles_per_sec);
 
+    // The same sparse sweep with faults + scrubber attached: the universal
+    // (event-horizon) fast-forward point. The noff twin is printed for the
+    // ratio but not gated — it duplicates what sparse64_noff already holds.
+    const StepPoint spf_ff =
+        measure_faulted_sparse(64, sparse_cycles, kernel,
+                               /*fast_forward=*/true);
+    const StepPoint spf_noff =
+        measure_faulted_sparse(64, sparse_cycles, kernel,
+                               /*fast_forward=*/false);
+    std::cout << "sparse radix 64 faulted+scrubbed: "
+              << static_cast<long>(spf_ff.cycles_per_sec)
+              << " cycles/s with fast-forward, "
+              << static_cast<long>(spf_noff.cycles_per_sec) << " without (x"
+              << spf_ff.cycles_per_sec / spf_noff.cycles_per_sec << ")\n";
+    metrics.emplace_back("cycles_per_sec_radix64_faulted_ff",
+                         spf_ff.cycles_per_sec);
+
     const double allocs = measure_allocs(64, cycles, kernel);
     std::cout << "radix 64 steady-state allocations/step: " << allocs << "\n";
     metrics.emplace_back("allocs_per_step_radix64", allocs);
@@ -630,6 +685,17 @@ int main(int argc, char** argv) {
     const double sps1 = measure_campaign(scenarios, 1);
     std::cout << "campaign at 1 thread: " << sps1 << " scenarios/s\n";
     metrics.emplace_back("campaign_scenarios_per_sec_jobs1", sps1);
+    // Monitor-on campaign (the ssq_fuzz --monitor configuration, flight
+    // recorder included): monitored scenarios fast-forward too — the
+    // monitor's on_clock_jump coalesces skipped windows — so this point
+    // gates the checking plane's share of the event-horizon win.
+    check::CheckOptions mon_opts;
+    mon_opts.monitor = true;
+    mon_opts.flight_recorder = 256;
+    const double sps_mon = measure_campaign(scenarios, 1, mon_opts);
+    std::cout << "campaign at 1 thread with monitor: " << sps_mon
+              << " scenarios/s\n";
+    metrics.emplace_back("campaign_scenarios_per_sec_monitor", sps_mon);
     const double sps_batch = measure_campaign_batched(scenarios, 8);
     std::cout << "campaign batched (width 8): " << sps_batch
               << " scenarios/s (x" << sps_batch / sps1 << " vs serial)\n";

@@ -48,7 +48,8 @@ Manifest (with --new; immutable afterwards):
                           of claiming, checkpointing and resume
   --grid=A,B,...          checking configurations; each label combines
                           tokens with '+': default, monitor, no-circuit,
-                          no-state, scalar, simd, engine=<islip|qps|swqps|
+                          no-state, scalar, simd, noff (fully stepped — no
+                          idle-cycle fast-forward), engine=<islip|qps|swqps|
                           ssvc> (default "default")
   --max-attempts=N        attempts before a crashing/hanging scenario is
                           quarantined (default 3)

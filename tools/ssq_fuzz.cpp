@@ -75,6 +75,17 @@ Checking:
                           with a GB or GL violation fails the campaign (kind
                           qos_violation) and its flight-recorder dump lands
                           next to the repro file
+  --no-fast-forward       run every scenario fully stepped (disable the
+                          idle-cycle fast-forward). Verdicts, stdout and
+                          repros are byte-identical either way — diffing a
+                          campaign against its --no-fast-forward twin is the
+                          event-horizon regression smoke
+  --sparse                derate every generated scenario into its sparse
+                          long-horizon twin (8x the cycles, 1/20th the
+                          injection rates; faults, scrub and monitor config
+                          untouched). The same seed still replays the same
+                          campaign; combined with --no-fast-forward this is
+                          the campaign-level fast-forward measurement
   --engine=NAME           force every generated scenario onto one matching
                           engine (islip|qps|swqps|ssvc|none). Engine runs are
                           checked invariants-only plus the progress guard —
@@ -305,6 +316,8 @@ int main(int argc, char** argv) {
   std::uint64_t batch = 8;
   check::CheckOptions opts;
   std::optional<arb::MatchKind> engine_override;
+  bool fast_forward = true;
+  bool sparse = false;
   bool do_shrink = true;
   bool quiet = false;
   std::string repro_dir = ".";
@@ -338,6 +351,10 @@ int main(int argc, char** argv) {
         opts.circuit = false;
       } else if (arg == "--no-state") {
         opts.state_compare = false;
+      } else if (arg == "--no-fast-forward") {
+        fast_forward = false;
+      } else if (arg == "--sparse") {
+        sparse = true;
       } else if (arg == "--monitor") {
         opts.monitor = true;
         opts.flight_recorder = 256;
@@ -380,6 +397,15 @@ int main(int argc, char** argv) {
     // sweep of the engines themselves.
     const auto make_scenario = [&](std::uint64_t index) {
       check::Scenario s = check::generate_scenario(index, base_seed);
+      if (sparse) {
+        // Deterministic derate: same draws, same faults, same checks — only
+        // the offered load shrinks and the horizon stretches, so idle
+        // stretches dominate and fast-forward gets something to skip.
+        // Rates only go down, so admissibility is preserved.
+        s.cycles *= 8;
+        for (auto& f : s.flows) f.inject_rate *= 0.05;
+      }
+      s.fast_forward = fast_forward;
       if (engine_override.has_value()) {
         s.matching_engine = *engine_override;
         if (*engine_override != arb::MatchKind::None) {
@@ -405,7 +431,8 @@ int main(int argc, char** argv) {
 
     // Replay mode: one scenario file, optionally just dumping its trace.
     if (!replay_path.empty()) {
-      const check::Scenario s = check::load_scenario(replay_path);
+      check::Scenario s = check::load_scenario(replay_path);
+      s.fast_forward = fast_forward;
       if (!trace_path.empty()) {
         const std::string trace = check::golden_trace(s);
         if (trace_path == "-") {
